@@ -1,0 +1,33 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures at full
+fidelity (30 simulation runs per block, the paper's setting), records
+wall-clock through pytest-benchmark, asserts the shape targets, and
+writes the rendered table to ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered table to results/<name>.txt (and echo it)."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _save

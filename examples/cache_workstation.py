@@ -1,0 +1,83 @@
+"""Scenario 1: a workstation-class RISC with a lockup-free data cache.
+
+This is the paper's first machine family (Motorola 88000-style,
+Section 4.5): loads hit in 2 cycles or miss in 5/10, and the processor
+does not block on outstanding loads.  We write a small numerical
+program in minif, compile it under both schedulers, and measure the
+improvement with the paper's full 30-run bootstrap methodology.
+
+Run:  python examples/cache_workstation.py
+"""
+
+from repro import BalancedScheduler, TraditionalScheduler, compile_program
+from repro.frontend import compile_minif
+from repro.machine import CACHE_SYSTEMS, SystemRow, UNLIMITED
+from repro.simulate import (
+    compare_runs,
+    simulate_program,
+    spawn,
+)
+
+SOURCE = """
+program blas_like
+  array x[8192], y[8192], z[8192], d[8192]
+  # daxpy-style stream with a loop-carried norm accumulator
+  kernel axpy freq 500 unroll 2
+    t1 = x[i] * alpha
+    z[i] = t1 + y[i]
+    nrm = nrm + t1 * t1
+  end
+  # banded smoother: neighbour stencil with a divide
+  kernel smooth freq 300 unroll 2
+    t1 = z[i-1] + z[i+1]
+    t2 = t1 / d[i]
+    y[i] = t2 - z[i]
+  end
+end
+"""
+
+
+def main() -> None:
+    program = compile_minif(SOURCE)
+    print(f"program {program.name}: "
+          f"{int(program.total_instruction_count(weighted=False))} static "
+          f"instructions in {len(program.all_blocks())} blocks\n")
+
+    print(f"{'cache':12s}{'trad W':>8s}{'trad cyc':>12s}{'bal cyc':>10s}"
+          f"{'improvement':>24s}")
+    for memory in CACHE_SYSTEMS:
+        for optimistic in memory.optimistic_latencies:
+            traditional = compile_program(
+                program, TraditionalScheduler(optimistic)
+            )
+            balanced = compile_program(program, BalancedScheduler())
+
+            key = (memory.name, f"{optimistic:g}")
+            trad_runs = simulate_program(
+                traditional.final_blocks, UNLIMITED, memory,
+                spawn("workstation", *key, "t"), runs=30,
+            )
+            bal_runs = simulate_program(
+                balanced.final_blocks, UNLIMITED, memory,
+                spawn("workstation", *key, "b"), runs=30,
+            )
+            improvement = compare_runs(
+                trad_runs, bal_runs, spawn("workstation", *key, "boot")
+            )
+            print(
+                f"{memory.name:12s}{optimistic:8g}"
+                f"{trad_runs.mean_runtime():12,.0f}"
+                f"{bal_runs.mean_runtime():10,.0f}"
+                f"{str(improvement):>24s}"
+            )
+
+    print(
+        "\nReading the table: improvement grows as the cache gets less"
+        "\npredictable (lower hit rate, bigger miss penalty) -- the"
+        "\nbalanced scheduler never saw any of these machines; it"
+        "\nscheduled once, from the program's own parallelism."
+    )
+
+
+if __name__ == "__main__":
+    main()

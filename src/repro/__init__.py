@@ -1,0 +1,98 @@
+"""Balanced Scheduling (Kerns & Eggers, PLDI 1993) -- full reproduction.
+
+Quick start::
+
+    from repro import BalancedScheduler, TraditionalScheduler
+    from repro.ir import IRBuilder
+
+    b = IRBuilder()
+    x = b.load("A", 0)
+    y = b.load("A", 1)
+    b.store(b.add(x, y), "B", 0)
+
+    result = BalancedScheduler().schedule_block(b.block)
+    print(result.block)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .analysis import (
+    AliasModel,
+    CodeDAG,
+    assert_equivalent,
+    build_dag,
+    equivalent,
+)
+from .core import (
+    AverageWeightScheduler,
+    BalancedScheduler,
+    CompilationResult,
+    SchedulingPolicy,
+    TraditionalScheduler,
+    balanced_weights,
+    compile_block,
+    compile_program,
+    contribution_matrix,
+)
+from .ir import BasicBlock, Function, IRBuilder, Instruction, Opcode, Program
+from .machine import (
+    CacheMemory,
+    FixedMemory,
+    LEN_8,
+    MAX_8,
+    MemorySystem,
+    MixedMemory,
+    NetworkMemory,
+    ProcessorModel,
+    UNLIMITED,
+)
+from .regalloc import RegisterFile
+from .simulate import (
+    ImprovementResult,
+    compare_runs,
+    simulate_block,
+    simulate_program,
+    spawn,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AliasModel",
+    "CodeDAG",
+    "build_dag",
+    "assert_equivalent",
+    "equivalent",
+    "AverageWeightScheduler",
+    "BalancedScheduler",
+    "CompilationResult",
+    "SchedulingPolicy",
+    "TraditionalScheduler",
+    "balanced_weights",
+    "compile_block",
+    "compile_program",
+    "contribution_matrix",
+    "BasicBlock",
+    "Function",
+    "IRBuilder",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "CacheMemory",
+    "FixedMemory",
+    "LEN_8",
+    "MAX_8",
+    "MemorySystem",
+    "MixedMemory",
+    "NetworkMemory",
+    "ProcessorModel",
+    "UNLIMITED",
+    "RegisterFile",
+    "ImprovementResult",
+    "compare_runs",
+    "simulate_block",
+    "simulate_program",
+    "spawn",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Program analyses: dependences, code DAGs, aliasing, liveness.
+
+The analyses here are the substrate shared by both schedulers: the
+code DAG (:func:`build_dag`), transitive closures
+(:mod:`repro.analysis.reachability`), connected components and
+load-path counting (:mod:`repro.analysis.components`), and live
+intervals for the register allocator (:mod:`repro.analysis.liveness`).
+"""
+
+from .alias import AliasModel, may_alias, must_alias
+from .components import (
+    component_loads,
+    connected_components,
+    longest_load_path,
+    longest_path_unionfind,
+)
+from .critical_path import (
+    critical_path_length,
+    height_in_nodes,
+    parallelism_estimate,
+    priorities,
+    priorities_edge_labelled,
+)
+from .dag import CodeDAG, DepKind, Edge
+from .equivalence import (
+    BlockEffect,
+    EquivalenceError,
+    assert_equivalent,
+    block_effect,
+    equivalent,
+)
+from .dependence import build_dag, dependence_summary
+from .liveness import LiveInterval, live_intervals, max_pressure, pressure_profile
+from .reachability import (
+    bits,
+    closures,
+    independent_mask,
+    predecessor_closure,
+    reachable,
+    successor_closure,
+)
+from .unionfind import DisjointSets, LevelUnionFind, NamedDisjointSets
+
+__all__ = [
+    "AliasModel",
+    "may_alias",
+    "must_alias",
+    "component_loads",
+    "connected_components",
+    "longest_load_path",
+    "longest_path_unionfind",
+    "critical_path_length",
+    "height_in_nodes",
+    "parallelism_estimate",
+    "priorities",
+    "priorities_edge_labelled",
+    "CodeDAG",
+    "BlockEffect",
+    "EquivalenceError",
+    "assert_equivalent",
+    "block_effect",
+    "equivalent",
+    "DepKind",
+    "Edge",
+    "build_dag",
+    "dependence_summary",
+    "LiveInterval",
+    "live_intervals",
+    "max_pressure",
+    "pressure_profile",
+    "bits",
+    "closures",
+    "independent_mask",
+    "predecessor_closure",
+    "reachable",
+    "successor_closure",
+    "DisjointSets",
+    "LevelUnionFind",
+    "NamedDisjointSets",
+]

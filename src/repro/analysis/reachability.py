@@ -1,0 +1,74 @@
+"""Transitive predecessor / successor closures over a :class:`CodeDAG`.
+
+The balanced weight computation removes ``Pred(i) U Succ(i)`` -- the
+*transitive* closures -- from the DAG for every instruction ``i``
+(Figure 6, line 3).  Closures are represented as Python integers used
+as bitsets, which makes per-``i`` subgraph construction a couple of
+bitwise operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .dag import CodeDAG
+
+
+def successor_closure(dag: CodeDAG) -> List[int]:
+    """``mask[v]`` has bit ``s`` set iff ``s`` is reachable from ``v``.
+
+    ``v`` itself is not included.  Computed in reverse topological
+    (i.e. reverse index) order in O(n * e / wordsize).
+    """
+    n = len(dag)
+    masks = [0] * n
+    for v in reversed(range(n)):
+        mask = 0
+        for s in dag.successors(v):
+            mask |= (1 << s) | masks[s]
+        masks[v] = mask
+    return masks
+
+
+def predecessor_closure(dag: CodeDAG) -> List[int]:
+    """``mask[v]`` has bit ``p`` set iff ``v`` is reachable from ``p``."""
+    n = len(dag)
+    masks = [0] * n
+    for v in range(n):
+        mask = 0
+        for p in dag.predecessors(v):
+            mask |= (1 << p) | masks[p]
+        masks[v] = mask
+    return masks
+
+
+def closures(dag: CodeDAG) -> Tuple[List[int], List[int]]:
+    """Both closures: ``(predecessor_closure, successor_closure)``."""
+    return predecessor_closure(dag), successor_closure(dag)
+
+
+def reachable(dag: CodeDAG, src: int, dst: int) -> bool:
+    """True when there is a directed path from ``src`` to ``dst``."""
+    if src == dst:
+        return True
+    return bool(successor_closure(dag)[src] >> dst & 1)
+
+
+def independent_mask(
+    dag: CodeDAG, node: int, pred_masks: List[int], succ_masks: List[int]
+) -> int:
+    """Bitmask of ``G_ind = G - (Pred(node) U Succ(node))`` minus ``node``.
+
+    This is line 3 of the paper's Figure 6: the set of instructions that
+    may execute in parallel with ``node``.
+    """
+    full = (1 << len(dag)) - 1
+    return full & ~(pred_masks[node] | succ_masks[node] | (1 << node))
+
+
+def bits(mask: int):
+    """Iterate over the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

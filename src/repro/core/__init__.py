@@ -1,0 +1,60 @@
+"""The paper's primary contribution: balanced scheduling.
+
+* :func:`balanced_weights` -- Figure 6's weight computation.
+* :class:`BalancedScheduler` / :class:`TraditionalScheduler` -- the two
+  policies over the shared bottom-up :class:`ListScheduler`.
+* :func:`compile_block` / :func:`compile_program` -- the two-pass
+  schedule / register-allocate / re-schedule pipeline.
+"""
+
+from .balanced import AverageWeightScheduler, BalancedScheduler
+from .pipeline import (
+    CompilationResult,
+    CompiledBlock,
+    compile_block,
+    compile_program,
+)
+from .policy import SchedulingPolicy
+from .scheduler import (
+    DEFAULT_TIE_BREAKS,
+    Direction,
+    ListScheduler,
+    ScheduleResult,
+    consumed_minus_defined,
+    exposed_count,
+    original_order,
+    register_pressure,
+    schedule_dag,
+)
+from .traditional import TraditionalScheduler, as_fraction
+from .weights import (
+    average_block_weight,
+    balanced_weights,
+    balanced_weights_reference,
+    contribution_matrix,
+)
+
+__all__ = [
+    "AverageWeightScheduler",
+    "BalancedScheduler",
+    "CompilationResult",
+    "CompiledBlock",
+    "compile_block",
+    "compile_program",
+    "SchedulingPolicy",
+    "DEFAULT_TIE_BREAKS",
+    "ListScheduler",
+    "ScheduleResult",
+    "consumed_minus_defined",
+    "Direction",
+    "original_order",
+    "register_pressure",
+    "exposed_count",
+    "schedule_dag",
+    "TraditionalScheduler",
+    "as_fraction",
+    "average_block_weight",
+    "balanced_weights",
+    "balanced_weights_reference",
+    "contribution_matrix",
+]

@@ -1,0 +1,66 @@
+"""The scheduling-policy interface.
+
+Both schedulers in the paper share one list scheduler and differ only
+in how load-instruction weights are assigned (Section 2: "The balanced
+scheduler simply incorporates the new method of computing weights for
+each load instruction into a traditional list scheduler").  A
+:class:`SchedulingPolicy` therefore owns exactly one decision --
+``assign_weights`` -- and inherits everything else.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from ..analysis.alias import AliasModel
+from ..analysis.dag import CodeDAG
+from ..analysis.dependence import build_dag
+from ..ir.block import BasicBlock
+from .scheduler import (
+    DEFAULT_TIE_BREAKS,
+    Direction,
+    ListScheduler,
+    ScheduleResult,
+    TieBreak,
+)
+
+
+class SchedulingPolicy(abc.ABC):
+    """A load-weighting policy on top of the shared list scheduler."""
+
+    #: Short human-readable policy name (appears in reports).
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        tie_breaks: Sequence[TieBreak] = DEFAULT_TIE_BREAKS,
+        direction: Direction = Direction.BOTTOM_UP,
+    ):
+        self._scheduler = ListScheduler(tie_breaks, direction)
+
+    @property
+    def direction(self) -> Direction:
+        return self._scheduler.direction
+
+    @abc.abstractmethod
+    def assign_weights(self, dag: CodeDAG) -> None:
+        """Install load weights into ``dag`` (in place)."""
+
+    # ------------------------------------------------------------------
+    def schedule_dag(self, dag: CodeDAG, block: Optional[BasicBlock] = None) -> ScheduleResult:
+        """Weight the DAG, then run the shared list scheduler."""
+        self.assign_weights(dag)
+        return self._scheduler.schedule(dag, block)
+
+    def schedule_block(
+        self,
+        block: BasicBlock,
+        alias_model: AliasModel = AliasModel.FORTRAN,
+    ) -> ScheduleResult:
+        """Build the block's DAG and schedule it under this policy."""
+        dag = build_dag(block, alias_model=alias_model)
+        return self.schedule_dag(dag, block)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,52 @@
+"""The traditional (baseline) scheduling policy.
+
+"Traditional list schedulers use a single constant for the weight of
+all load instructions, usually an implementation-defined latency
+(e.g., cache hit time)" (Section 2).  The constant is the *optimistic
+latency* of the machine being compiled for: the cache hit time or
+effective access time on cache machines, the mean of the latency
+distribution on network machines (Section 5).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence, Union
+
+from ..analysis.dag import CodeDAG
+from .policy import SchedulingPolicy
+from .scheduler import DEFAULT_TIE_BREAKS, Direction, TieBreak
+
+Latency = Union[int, float, Fraction]
+
+
+def as_fraction(latency: Latency) -> Fraction:
+    """Convert a latency to an exact fraction.
+
+    Floats are converted through their decimal string so 2.6 becomes
+    13/5, not the nearest binary float.
+    """
+    if isinstance(latency, Fraction):
+        return latency
+    if isinstance(latency, int):
+        return Fraction(latency)
+    return Fraction(str(latency))
+
+
+class TraditionalScheduler(SchedulingPolicy):
+    """Fixed-optimistic-latency weighting (the paper's baseline)."""
+
+    def __init__(
+        self,
+        optimistic_latency: Latency = 2,
+        tie_breaks: Sequence[TieBreak] = DEFAULT_TIE_BREAKS,
+        direction: Direction = Direction.BOTTOM_UP,
+    ):
+        super().__init__(tie_breaks, direction)
+        self.optimistic_latency = as_fraction(optimistic_latency)
+        self.name = f"traditional(W={optimistic_latency})"
+
+    def assign_weights(self, dag: CodeDAG) -> None:
+        """Every load gets the same implementation-defined weight."""
+        for node in dag.load_nodes():
+            dag.set_weight(node, self.optimistic_latency)

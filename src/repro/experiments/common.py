@@ -1,0 +1,175 @@
+"""Shared machinery for the table/figure experiments.
+
+An experiment *cell* is one (program, system row, processor model)
+triple: both schedulers compile the program, the simulator runs every
+block 30 times on the modelled machine, and the paper's bootstrap
+yields the percentage improvement plus the component statistics
+(instruction counts, interlock percentages, spill percentages)
+reported across Tables 2-5.
+
+Compilation is machine-independent for the balanced scheduler and
+depends only on the optimistic latency for the traditional scheduler,
+so :class:`ProgramEvaluator` caches compiled artefacts and reuses them
+across the (many) rows of a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.alias import AliasModel
+from ..core.balanced import BalancedScheduler
+from ..core.pipeline import CompilationResult, compile_program
+from ..core.traditional import TraditionalScheduler
+from ..ir.block import Program
+from ..machine.config import SystemRow
+from ..machine.processor import ProcessorModel, UNLIMITED
+from ..regalloc.target import DEFAULT_REGISTER_FILE, RegisterFile
+from ..simulate.program import DEFAULT_RUNS, ProgramRuns, simulate_program
+from ..simulate.rng import DEFAULT_SEED, spawn
+from ..simulate.stats import (
+    DEFAULT_BOOTSTRAP,
+    ImprovementResult,
+    percentage_improvement,
+    program_bootstrap_runtimes,
+)
+
+
+@dataclass
+class CellResult:
+    """One evaluated (program, system, processor) cell."""
+
+    program: str
+    system: SystemRow
+    processor: ProcessorModel
+    improvement: ImprovementResult
+    traditional_instructions: float
+    balanced_instructions: float
+    traditional_interlock_pct: float
+    balanced_interlock_pct: float
+    traditional_spill_pct: float
+    balanced_spill_pct: float
+
+    @property
+    def imp_pct(self) -> float:
+        return self.improvement.mean
+
+
+class ProgramEvaluator:
+    """Compiles a program once per policy and evaluates table cells."""
+
+    def __init__(
+        self,
+        program: Program,
+        register_file: Optional[RegisterFile] = DEFAULT_REGISTER_FILE,
+        alias_model: AliasModel = AliasModel.FORTRAN,
+        seed: int = DEFAULT_SEED,
+        runs: int = DEFAULT_RUNS,
+        n_boot: int = DEFAULT_BOOTSTRAP,
+    ):
+        self.program = program
+        self.register_file = register_file
+        self.alias_model = alias_model
+        self.seed = seed
+        self.runs = runs
+        self.n_boot = n_boot
+        self._balanced: Optional[CompilationResult] = None
+        self._traditional: Dict[Fraction, CompilationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Compilation caches
+    # ------------------------------------------------------------------
+    def balanced(self) -> CompilationResult:
+        """The balanced compilation (machine-independent; computed once)."""
+        if self._balanced is None:
+            self._balanced = compile_program(
+                self.program,
+                BalancedScheduler(),
+                register_file=self.register_file,
+                alias_model=self.alias_model,
+            )
+        return self._balanced
+
+    def traditional(self, optimistic_latency: float) -> CompilationResult:
+        """The traditional compilation for one optimistic latency."""
+        key = TraditionalScheduler(optimistic_latency).optimistic_latency
+        if key not in self._traditional:
+            self._traditional[key] = compile_program(
+                self.program,
+                TraditionalScheduler(optimistic_latency),
+                register_file=self.register_file,
+                alias_model=self.alias_model,
+            )
+        return self._traditional[key]
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        compilation: CompilationResult,
+        row: SystemRow,
+        processor: ProcessorModel,
+        policy_tag: str,
+    ) -> ProgramRuns:
+        rng = spawn(
+            "sim",
+            self.program.name,
+            row.memory.name,
+            f"{row.optimistic_latency:g}",
+            processor.name,
+            policy_tag,
+            seed=self.seed,
+        )
+        return simulate_program(
+            compilation.final_blocks,
+            processor,
+            row.memory,
+            rng,
+            runs=self.runs,
+            name=f"{self.program.name}/{policy_tag}",
+        )
+
+    def cell(
+        self, row: SystemRow, processor: ProcessorModel = UNLIMITED
+    ) -> CellResult:
+        """Evaluate one table cell (compile if needed, simulate, bootstrap)."""
+        balanced = self.balanced()
+        traditional = self.traditional(row.optimistic_latency)
+
+        trad_runs = self._simulate(traditional, row, processor, "traditional")
+        bal_runs = self._simulate(balanced, row, processor, "balanced")
+
+        boot_rng = spawn(
+            "boot",
+            self.program.name,
+            row.memory.name,
+            f"{row.optimistic_latency:g}",
+            processor.name,
+            seed=self.seed,
+        )
+        t_boot = program_bootstrap_runtimes(trad_runs, boot_rng, self.n_boot)
+        b_boot = program_bootstrap_runtimes(bal_runs, boot_rng, self.n_boot)
+        improvement = percentage_improvement(t_boot, b_boot)
+
+        return CellResult(
+            program=self.program.name,
+            system=row,
+            processor=processor,
+            improvement=improvement,
+            traditional_instructions=traditional.dynamic_instructions,
+            balanced_instructions=balanced.dynamic_instructions,
+            traditional_interlock_pct=trad_runs.interlock_percentage(),
+            balanced_interlock_pct=bal_runs.interlock_percentage(),
+            traditional_spill_pct=traditional.spill_percentage,
+            balanced_spill_pct=balanced.spill_percentage,
+        )
+
+
+def geometric_layout(values: Sequence[float], width: int = 6) -> str:
+    """Small helper: format a row of numbers for the console tables."""
+    return " ".join(f"{v:{width}.1f}" for v in values)

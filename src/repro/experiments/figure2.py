@@ -1,0 +1,104 @@
+"""Figures 1/2 and 4/5: the worked example schedules.
+
+Reproduces, exactly, the schedules the paper prints:
+
+* Figure 2a -- traditional, W=5 ("greedy"): ``L0 X0 X1 X2 X3 L1 X4``
+* Figure 2b -- traditional, W=1 ("lazy"):   ``L0 L1 X0 X1 X2 X3 X4``
+* Figure 2c -- balanced (weights = 3):      ``L0 X0 X1 L1 X2 X3 X4``
+* Figure 5  -- balanced on the parallel-loads DAG (weights = 6):
+  ``L0 L1 X0 X1 X2 X3 X4``
+
+The illustrated schedules are what a forward (top-down) scheduler
+emits, so this experiment runs the shared list scheduler in its
+top-down direction (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List
+
+from ..analysis.dependence import build_dag
+from ..core.balanced import BalancedScheduler
+from ..core.scheduler import Direction
+from ..core.traditional import TraditionalScheduler
+from ..core.weights import balanced_weights
+from ..workloads.paper_dags import figure1_block, figure4_block, label_order
+
+#: The schedules as printed in the paper.
+PAPER_SCHEDULES: Dict[str, List[str]] = {
+    "figure2a_greedy_w5": ["L0", "X0", "X1", "X2", "X3", "L1", "X4"],
+    "figure2b_lazy_w1": ["L0", "L1", "X0", "X1", "X2", "X3", "X4"],
+    "figure2c_balanced": ["L0", "X0", "X1", "L1", "X2", "X3", "X4"],
+    "figure5_balanced": ["L0", "L1", "X0", "X1", "X2", "X3", "X4"],
+}
+
+#: The load weights the paper derives for the two example DAGs.
+PAPER_WEIGHTS: Dict[str, Fraction] = {
+    "figure1": Fraction(3),
+    "figure4": Fraction(6),
+}
+
+
+@dataclass
+class Figure2Result:
+    """All four worked schedules plus the derived load weights."""
+
+    schedules: Dict[str, List[str]]
+    weights: Dict[str, Dict[str, Fraction]]
+
+    def matches_paper(self) -> bool:
+        """True when every schedule equals the printed one."""
+        return all(
+            self.schedules[name] == expected
+            for name, expected in PAPER_SCHEDULES.items()
+        )
+
+    def format(self) -> str:
+        lines = ["Figures 2 and 5: worked example schedules", ""]
+        for name, expected in PAPER_SCHEDULES.items():
+            got = self.schedules[name]
+            status = "match" if got == expected else f"MISMATCH (paper: {expected})"
+            lines.append(f"  {name:24s} {' '.join(got):30s} [{status}]")
+        lines.append("")
+        for figure, per_load in self.weights.items():
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(per_load.items()))
+            lines.append(f"  {figure} balanced weights: {rendered}")
+        return "\n".join(lines)
+
+
+def run_figure2() -> Figure2Result:
+    """Generate the four schedules and both weight sets."""
+    block1, labels1 = figure1_block()
+    block4, labels4 = figure4_block()
+    top_down = Direction.TOP_DOWN
+
+    schedules = {
+        "figure2a_greedy_w5": label_order(
+            labels1,
+            TraditionalScheduler(5, direction=top_down).schedule_block(block1).order,
+        ),
+        "figure2b_lazy_w1": label_order(
+            labels1,
+            TraditionalScheduler(1, direction=top_down).schedule_block(block1).order,
+        ),
+        "figure2c_balanced": label_order(
+            labels1,
+            BalancedScheduler(direction=top_down).schedule_block(block1).order,
+        ),
+        "figure5_balanced": label_order(
+            labels4,
+            BalancedScheduler(direction=top_down).schedule_block(block4).order,
+        ),
+    }
+
+    weights = {}
+    for figure, (block, labels) in (
+        ("figure1", (block1, labels1)),
+        ("figure4", (block4, labels4)),
+    ):
+        per_load = balanced_weights(build_dag(block))
+        weights[figure] = {labels[node]: w for node, w in per_load.items()}
+
+    return Figure2Result(schedules=schedules, weights=weights)

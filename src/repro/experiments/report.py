@@ -1,0 +1,166 @@
+"""Machine-readable exports of the experiment results.
+
+Each table's result object renders to the console through its own
+``format()``; this module flattens them into records and serialises
+records as CSV or GitHub-flavoured markdown, for plotting or
+spreadsheet work.  Use through :func:`export` or the CLI's
+``--format`` option.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Sequence, Union
+
+from .figure3 import Figure3Result
+from .table1 import Table1Result
+from .table2 import Table2Result
+from .table3 import Table3Result
+from .table4 import OPTIMISTIC_LATENCIES, Table4Result
+from .table5 import Table5Result
+
+Record = Dict[str, Union[str, float, int]]
+Exportable = Union[
+    Figure3Result, Table1Result, Table2Result, Table3Result, Table4Result,
+    Table5Result,
+]
+
+
+# ----------------------------------------------------------------------
+# Flattening
+# ----------------------------------------------------------------------
+def records_of(result: Exportable) -> List[Record]:
+    """Flatten any exportable result into a list of flat dicts."""
+    if isinstance(result, Figure3Result):
+        return [
+            {
+                "schedule": name,
+                **{
+                    f"latency_{latency}": counts[index]
+                    for index, latency in enumerate(result.latencies)
+                },
+            }
+            for name, counts in result.interlocks.items()
+        ]
+    if isinstance(result, Table1Result):
+        out: List[Record] = []
+        for load, row in sorted(result.matrix.items()):
+            record: Record = {"load": load}
+            for contributor, value in sorted(row.items()):
+                record[contributor] = float(value)
+            record["weight"] = float(result.weights[load])
+            out.append(record)
+        return out
+    if isinstance(result, Table2Result):
+        out = []
+        for row in result.rows:
+            record = {
+                "system": row.system.memory.name,
+                "optimistic_latency": row.system.optimistic_latency,
+                "group": row.system.group,
+            }
+            for program, cell in row.cells.items():
+                record[program] = round(cell.imp_pct, 2)
+            record["mean"] = round(row.mean, 2)
+            out.append(record)
+        return out
+    if isinstance(result, Table3Result):
+        out = []
+        for (label, processor), cell in result.cells.items():
+            out.append(
+                {
+                    "system": label,
+                    "processor": processor,
+                    "imp_pct": round(cell.imp_pct, 2),
+                    "ti_pct": round(cell.traditional_interlock_pct, 2),
+                    "bi_pct": round(cell.balanced_interlock_pct, 2),
+                    "tins": cell.traditional_instructions,
+                    "bins": cell.balanced_instructions,
+                }
+            )
+        return out
+    if isinstance(result, Table4Result):
+        out = []
+        for row in result.rows:
+            record = {
+                "program": row.program,
+                "bins": row.dynamic_instructions,
+                "balanced": round(row.balanced, 3),
+            }
+            for latency in OPTIMISTIC_LATENCIES:
+                record[f"w{latency:g}"] = round(
+                    row.traditional[float(latency)], 3
+                )
+            out.append(record)
+        return out
+    if isinstance(result, Table5Result):
+        out = []
+        for (program, processor), cell in result.cells.items():
+            out.append(
+                {
+                    "program": program,
+                    "processor": processor,
+                    "imp_pct": round(cell.imp_pct, 2),
+                    "ti_pct": round(cell.traditional_interlock_pct, 2),
+                    "bi_pct": round(cell.balanced_interlock_pct, 2),
+                }
+            )
+        return out
+    raise TypeError(f"no record flattening for {type(result).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+def _columns(records: Sequence[Record]) -> List[str]:
+    columns: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def to_csv(records: Sequence[Record]) -> str:
+    """Serialise records as CSV (header + one line per record)."""
+    import csv
+
+    columns = _columns(records)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return buffer.getvalue()
+
+
+def to_markdown(records: Sequence[Record]) -> str:
+    """Serialise records as a GitHub-flavoured markdown table."""
+    columns = _columns(records)
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for record in records:
+        cells = []
+        for column in columns:
+            value = record.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def export(result: Exportable, fmt: str = "text") -> str:
+    """Render ``result`` as ``text`` (its own format()), ``csv`` or
+    ``markdown``."""
+    if fmt == "text":
+        return result.format()  # type: ignore[union-attr]
+    records = records_of(result)
+    if fmt == "csv":
+        return to_csv(records)
+    if fmt == "markdown":
+        return to_markdown(records)
+    raise ValueError(f"unknown format {fmt!r} (text / csv / markdown)")

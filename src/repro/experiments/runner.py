@@ -1,0 +1,274 @@
+"""Command-line entry point.
+
+Installed as ``balanced-sched``.  Four modes:
+
+Regenerate a paper artifact (the bare form is shorthand for ``run``)::
+
+    balanced-sched table2
+    balanced-sched run table2 --format csv
+    balanced-sched all
+
+Compile a minif source file and print both schedulers' output::
+
+    balanced-sched compile kernel.mf
+    balanced-sched compile kernel.mf --latency 5
+
+Show the Figure-6 balanced weights (optionally the full Table-1 style
+contribution matrix) for a kernel::
+
+    balanced-sched weights kernel.mf --matrix
+
+Trace one simulated execution of a compiled kernel (pipeline diagram
+plus stall attribution)::
+
+    balanced-sched trace kernel.mf --memory "N(2,5)" --policy balanced
+
+Common options: ``--seed`` (root RNG seed), ``--runs`` (simulation runs
+per block; the paper uses 30), ``--quick`` (3 runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..simulate.rng import DEFAULT_SEED
+from .ablations import run_all_ablations
+from .figure2 import run_figure2
+from .figure3 import run_figure3
+from .report import export
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+
+EXPERIMENTS: List[str] = [
+    "figure2",
+    "figure3",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "ablations",
+]
+
+#: Results that can be exported as csv/markdown.
+_EXPORTABLE = {"figure3", "table1", "table2", "table3", "table4", "table5"}
+
+
+def _dispatch(name: str, seed: int, runs: int):
+    if name == "figure2":
+        return run_figure2()
+    if name == "figure3":
+        return run_figure3()
+    if name == "table1":
+        return run_table1()
+    if name == "table2":
+        return run_table2(seed=seed, runs=runs)
+    if name == "table3":
+        return run_table3(seed=seed, runs=runs)
+    if name == "table4":
+        return run_table4(seed=seed)
+    if name == "table5":
+        return run_table5(seed=seed, runs=runs)
+    if name == "ablations":
+        return run_all_ablations()
+    raise KeyError(name)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    runs = 3 if args.quick else args.runs
+    names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        result = _dispatch(name, args.seed, runs)
+        elapsed = time.time() - start
+        if args.format != "text" and name in _EXPORTABLE:
+            print(export(result, args.format))
+        else:
+            print(result.format())
+        print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _compile_file(path: str):
+    from ..frontend.lowering import compile_minif
+
+    with open(path) as handle:
+        return compile_minif(handle.read())
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from ..core.balanced import BalancedScheduler
+    from ..core.pipeline import compile_program
+    from ..core.traditional import TraditionalScheduler
+    from ..ir.printer import format_block
+
+    program = _compile_file(args.file)
+    policies = [BalancedScheduler(), TraditionalScheduler(args.latency)]
+    for policy in policies:
+        compiled = compile_program(program, policy)
+        print(f"==== {policy.name}")
+        for block in compiled.final_blocks:
+            print(format_block(block))
+            print()
+        print(
+            f"  dynamic instructions: {compiled.dynamic_instructions:,.0f}"
+            f"  (spill {compiled.spill_percentage:.2f}%)\n"
+        )
+    return 0
+
+
+def _cmd_weights(args: argparse.Namespace) -> int:
+    from fractions import Fraction
+
+    from ..analysis.dependence import build_dag
+    from ..core.weights import balanced_weights, contribution_matrix
+
+    program = _compile_file(args.file)
+    for function in program:
+        for block in function:
+            dag = build_dag(block)
+            weights = balanced_weights(dag)
+            print(f"==== {block.name} ({len(block)} instructions, "
+                  f"{len(weights)} loads)")
+            if args.matrix:
+                matrix = contribution_matrix(dag)
+                for node in sorted(matrix):
+                    row = ", ".join(
+                        f"{i}:{v}" for i, v in sorted(matrix[node].items()) if v
+                    )
+                    print(f"  load {node:3d} <- {row}")
+            for node in sorted(weights):
+                print(
+                    f"  {node:3d} {str(dag.instructions[node]):40s} "
+                    f"weight {weights[node]}  (~{float(weights[node]):.2f})"
+                )
+            print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..core.balanced import BalancedScheduler
+    from ..core.pipeline import compile_program
+    from ..core.traditional import TraditionalScheduler
+    from ..machine.config import SYSTEMS_BY_NAME
+    from ..simulate.rng import spawn
+    from ..simulate.trace import trace_with_memory
+
+    memory = SYSTEMS_BY_NAME.get(args.memory)
+    if memory is None:
+        print(
+            f"unknown memory system {args.memory!r}; "
+            f"choose from {sorted(SYSTEMS_BY_NAME)}",
+            file=sys.stderr,
+        )
+        return 2
+    policy = (
+        BalancedScheduler()
+        if args.policy == "balanced"
+        else TraditionalScheduler(args.latency)
+    )
+    program = _compile_file(args.file)
+    compiled = compile_program(program, policy)
+    rng = spawn("cli-trace", args.file, memory.name, seed=args.seed)
+    for block in compiled.final_blocks:
+        print(f"==== {block.name} on {memory.name} under {policy.name}")
+        trace = trace_with_memory(block, _processor_for(args), memory, rng)
+        print(trace.render())
+        by_reason = trace.stalls_by_reason()
+        if by_reason:
+            print("  stalls: " + ", ".join(
+                f"{reason.value}={cycles}" for reason, cycles in by_reason.items()
+            ))
+        print()
+    return 0
+
+
+def _processor_for(args: argparse.Namespace):
+    from ..machine.processor import LEN_8, MAX_8, UNLIMITED
+
+    return {"unlimited": UNLIMITED, "max8": MAX_8, "len8": LEN_8}[
+        args.processor
+    ]
+
+
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="balanced-sched",
+        description=(
+            "Balanced Scheduling (Kerns & Eggers, PLDI 1993): regenerate "
+            "the paper, or compile and trace your own minif kernels"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="regenerate a table or figure")
+    run.add_argument("experiment", choices=EXPERIMENTS + ["all"])
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    run.add_argument("--runs", type=int, default=30)
+    run.add_argument("--quick", action="store_true", help="3-run smoke pass")
+    run.add_argument(
+        "--format", choices=["text", "csv", "markdown"], default="text"
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    compile_cmd = sub.add_parser("compile", help="compile a minif file")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument(
+        "--latency",
+        type=float,
+        default=2,
+        help="optimistic latency for the traditional baseline",
+    )
+    compile_cmd.set_defaults(handler=_cmd_compile)
+
+    weights = sub.add_parser(
+        "weights", help="show balanced load weights for a minif file"
+    )
+    weights.add_argument("file")
+    weights.add_argument(
+        "--matrix",
+        action="store_true",
+        help="also print the per-instruction contribution matrix",
+    )
+    weights.set_defaults(handler=_cmd_weights)
+
+    trace = sub.add_parser("trace", help="trace one simulated execution")
+    trace.add_argument("file")
+    trace.add_argument("--memory", default="N(2,5)")
+    trace.add_argument(
+        "--policy", choices=["balanced", "traditional"], default="balanced"
+    )
+    trace.add_argument("--latency", type=float, default=2)
+    trace.add_argument(
+        "--processor",
+        choices=["unlimited", "max8", "len8"],
+        default="unlimited",
+    )
+    trace.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    trace.set_defaults(handler=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Bare experiment names are shorthand for `run <experiment>`.
+    if argv and argv[0] in EXPERIMENTS + ["all"]:
+        argv = ["run"] + argv
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

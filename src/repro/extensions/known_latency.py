@@ -1,0 +1,91 @@
+"""Section 6 extension: pin loads whose latency is actually known.
+
+"...disabling balanced scheduling when the latency is known (e.g.,
+for the second access to a cache line)."
+
+:class:`KnownLatencyScheduler` takes an oracle mapping a load to its
+known latency (or ``None`` when unknown).  Known loads get that fixed
+weight; unknown loads get balanced weights.  Because weights enter
+``Chances`` only through load counting, the balanced computation is
+unchanged -- we simply overwrite the known nodes afterwards.
+
+:func:`second_access_same_line` is the paper's worked example of an
+oracle: the second access to a cache line is a hit, so any load whose
+region/offset falls in the same line as an earlier load in the block
+is pinned to the hit latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
+
+from ..analysis.dag import CodeDAG
+from ..core.policy import SchedulingPolicy
+from ..core.scheduler import DEFAULT_TIE_BREAKS, Direction, TieBreak
+from ..core.weights import balanced_weights
+from ..ir.instructions import Instruction
+
+#: Oracle: (dag, node) -> known latency in cycles, or None.
+LatencyOracle = Callable[[CodeDAG, int], Optional[int]]
+
+
+def second_access_same_line(
+    hit_latency: int = 2, line_elements: int = 4
+) -> LatencyOracle:
+    """Oracle pinning same-cache-line repeat accesses to the hit time.
+
+    Two affine references to the same region whose offsets fall in the
+    same ``line_elements``-sized line touch the same cache line; the
+    later one is known to hit.
+    """
+
+    def oracle(dag: CodeDAG, node: int) -> Optional[int]:
+        instruction = dag.instructions[node]
+        if instruction.mem is None or instruction.mem.affine_coeff is None:
+            return None
+        line = (instruction.mem.region, instruction.mem.offset // line_elements)
+        for earlier in range(node):
+            other = dag.instructions[earlier]
+            if not other.is_load or other.mem is None:
+                continue
+            if other.mem.affine_coeff is None:
+                continue
+            other_line = (other.mem.region, other.mem.offset // line_elements)
+            if other_line == line:
+                return hit_latency
+        return None
+
+    return oracle
+
+
+class KnownLatencyScheduler(SchedulingPolicy):
+    """Balanced weights, except where the latency oracle knows better."""
+
+    name = "balanced-known-latency"
+
+    def __init__(
+        self,
+        oracle: LatencyOracle,
+        tie_breaks: Sequence[TieBreak] = DEFAULT_TIE_BREAKS,
+        direction: Direction = Direction.BOTTOM_UP,
+    ):
+        super().__init__(tie_breaks, direction)
+        self.oracle = oracle
+
+    def assign_weights(self, dag: CodeDAG) -> None:
+        weights = balanced_weights(dag)
+        for node in dag.load_nodes():
+            known = self.oracle(dag, node)
+            if known is not None:
+                dag.set_weight(node, known)
+            else:
+                dag.set_weight(node, weights[node])
+
+    def known_loads(self, dag: CodeDAG) -> Dict[int, int]:
+        """The loads the oracle pins, with their latencies (diagnostics)."""
+        out: Dict[int, int] = {}
+        for node in dag.load_nodes():
+            known = self.oracle(dag, node)
+            if known is not None:
+                out[node] = known
+        return out

@@ -1,0 +1,133 @@
+"""Section 6 extension: block-enlarging transformations.
+
+"...techniques that enlarge basic blocks (trace scheduling and
+software pipelining)..."
+
+:func:`enlarge_block` replicates a straight-line loop body ``factor``
+times at the IR level: every copy gets fresh virtual registers, affine
+memory references shift by the iteration distance, and loop-carried
+values (live-out of one copy feeding live-in of the next) are wired
+through according to a caller-supplied ``carried`` map.
+:func:`infer_carried` derives that map for blocks produced by the
+minif frontend, whose convention pairs the k-th floating point live-in
+scalar with the k-th live-out scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.block import BasicBlock
+from ..ir.operands import MemRef, RegClass, Register, VirtualReg
+
+
+class UnrollError(ValueError):
+    """Raised for blocks that cannot be mechanically enlarged."""
+
+
+def infer_carried(block: BasicBlock) -> Dict[Register, Register]:
+    """Pair live-out values with the live-in they feed next iteration.
+
+    Frontend-produced blocks carry the wiring explicitly
+    (``block.carried``); for hand-built blocks without it, a block with
+    no live-out values carries nothing, and otherwise the floating
+    point live-in scalars are paired with the live-out scalars
+    positionally.  Raises when that fallback is ambiguous (the caller
+    must then supply the map explicitly).
+    """
+    if block.carried:
+        return dict(block.carried)
+    if not block.live_out:
+        return {}
+    fp_live_in = [r for r in block.live_in if r.rclass is RegClass.FP]
+    if len(fp_live_in) != len(block.live_out):
+        raise UnrollError(
+            f"cannot infer carried values: {len(block.live_out)} live-out vs "
+            f"{len(fp_live_in)} floating point live-in registers"
+        )
+    return dict(zip(block.live_out, fp_live_in))
+
+
+def enlarge_block(
+    block: BasicBlock,
+    factor: int,
+    carried: Optional[Dict[Register, Register]] = None,
+    iteration_stride: int = 1,
+) -> BasicBlock:
+    """Unroll ``block`` ``factor`` times at the IR level.
+
+    ``carried`` maps each live-out register of one copy to the live-in
+    register it replaces in the next copy; ``iteration_stride`` is the
+    number of array elements one iteration advances (affine memory
+    offsets shift by ``stride * copy * coeff``).
+    """
+    if factor < 1:
+        raise UnrollError("factor must be >= 1")
+    if factor == 1:
+        return block.replaced(list(block.instructions))
+    if carried is None:
+        carried = infer_carried(block)
+
+    next_index = 1 + max(
+        (r.index for inst in block.instructions for r in inst.all_regs()
+         if isinstance(r, VirtualReg)),
+        default=0,
+    )
+
+    out = BasicBlock(
+        f"{block.name}x{factor}",
+        frequency=block.frequency / factor,
+        live_in=list(block.live_in),
+    )
+    #: registers whose value flows into the current copy.
+    inbound: Dict[Register, Register] = {r: r for r in block.live_in}
+    last_defs: Dict[Register, Register] = {}
+
+    for copy in range(factor):
+        rename: Dict[Register, Register] = {}
+
+        def resolve(reg: Register) -> Register:
+            if reg in rename:
+                return rename[reg]
+            if reg in inbound:
+                return inbound[reg]
+            return reg
+
+        for inst in block.instructions:
+            uses = tuple(resolve(r) for r in inst.uses)
+            mem_base = None
+            new_mem: Optional[MemRef] = inst.mem
+            if inst.mem is not None:
+                if inst.mem.base is not None:
+                    mem_base = resolve(inst.mem.base)
+                shift = 0
+                if inst.mem.affine_coeff:
+                    shift = inst.mem.affine_coeff * iteration_stride * copy
+                new_mem = MemRef(
+                    region=inst.mem.region,
+                    base=mem_base,
+                    offset=inst.mem.offset + shift,
+                    affine_coeff=inst.mem.affine_coeff,
+                )
+            defs: List[Register] = []
+            for reg in inst.defs:
+                if isinstance(reg, VirtualReg):
+                    fresh = VirtualReg(next_index, reg.rclass)
+                    next_index += 1
+                else:  # physical registers cannot be renamed
+                    fresh = reg
+                rename[reg] = fresh
+                defs.append(fresh)
+            clone = inst.copy()
+            clone.defs = tuple(defs)
+            clone.uses = uses
+            clone.mem = new_mem
+            out.append(clone)
+
+        # Wire carried values into the next copy.
+        for source, sink in carried.items():
+            inbound[sink] = rename.get(source, inbound.get(source, source))
+        last_defs = {src: rename.get(src, src) for src in carried}
+
+    out.live_out = [last_defs.get(r, r) for r in block.live_out]
+    return out

@@ -1,0 +1,26 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class MinifError(Exception):
+    """Base class for minif frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexError(MinifError):
+    """Raised on malformed input characters."""
+
+
+class ParseError(MinifError):
+    """Raised on grammar violations."""
+
+
+class LoweringError(MinifError):
+    """Raised when a well-formed program cannot be lowered to IR
+    (e.g. a reference to an undeclared array)."""

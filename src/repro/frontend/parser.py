@@ -1,0 +1,253 @@
+"""Recursive-descent parser for minif.
+
+Grammar (newline-terminated statements)::
+
+    program    := "program" IDENT NL decl* kernel* "end" NL?
+    decl       := "array" IDENT "[" NUMBER "]" ("," IDENT "[" NUMBER "]")* NL
+                | "scalar" IDENT ("," IDENT)* NL
+    kernel     := "kernel" IDENT "freq" NUMBER ("unroll" NUMBER)? NL
+                      assign* "end" NL
+    assign     := target "=" expr NL
+    target     := IDENT | IDENT "[" index "]"
+    index      := (NUMBER "*")? "i" (("+"|"-") NUMBER)? | NUMBER
+    expr       := term (("+"|"-") term)*
+    term       := factor (("*"|"/") factor)*
+    factor     := NUMBER | IDENT | IDENT "[" index "]" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from .ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    IndexExpr,
+    IndirectIndex,
+    Kernel,
+    Num,
+    ProgramAST,
+    Var,
+)
+from .errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+
+
+class Parser:
+    """Token-stream parser; use :func:`parse_program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind is not TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        return token.kind is kind and (text is None or token.text == text)
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            want = text if text is not None else kind.value
+            raise ParseError(
+                f"expected {want!r}, found {token}", token.line, token.column
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._check(TokenKind.NEWLINE):
+            self._advance()
+
+    def _end_statement(self) -> None:
+        if self._check(TokenKind.EOF):
+            return
+        self._expect(TokenKind.NEWLINE)
+        self._skip_newlines()
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ProgramAST:
+        self._skip_newlines()
+        self._expect(TokenKind.KEYWORD, "program")
+        name = self._expect(TokenKind.IDENT).text
+        self._end_statement()
+
+        program = ProgramAST(name=name)
+        while not self._check(TokenKind.KEYWORD, "end"):
+            if self._check(TokenKind.KEYWORD, "array"):
+                self._parse_array_decl(program)
+            elif self._check(TokenKind.KEYWORD, "scalar"):
+                self._parse_scalar_decl(program)
+            elif self._check(TokenKind.KEYWORD, "kernel"):
+                program.kernels.append(self._parse_kernel())
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"expected declaration or kernel, found {token}",
+                    token.line,
+                    token.column,
+                )
+        self._expect(TokenKind.KEYWORD, "end")
+        self._skip_newlines()
+        self._expect(TokenKind.EOF)
+        return program
+
+    def _parse_array_decl(self, program: ProgramAST) -> None:
+        self._expect(TokenKind.KEYWORD, "array")
+        while True:
+            name = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.LBRACKET)
+            self._expect(TokenKind.NUMBER)  # declared size (documentation)
+            self._expect(TokenKind.RBRACKET)
+            program.arrays.append(name)
+            if self._check(TokenKind.COMMA):
+                self._advance()
+                continue
+            break
+        self._end_statement()
+
+    def _parse_scalar_decl(self, program: ProgramAST) -> None:
+        self._expect(TokenKind.KEYWORD, "scalar")
+        while True:
+            program.scalars.append(self._expect(TokenKind.IDENT).text)
+            if self._check(TokenKind.COMMA):
+                self._advance()
+                continue
+            break
+        self._end_statement()
+
+    def _parse_kernel(self) -> Kernel:
+        self._expect(TokenKind.KEYWORD, "kernel")
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.KEYWORD, "freq")
+        freq = float(self._expect(TokenKind.NUMBER).text)
+        unroll = 1
+        if self._check(TokenKind.KEYWORD, "unroll"):
+            self._advance()
+            unroll_token = self._expect(TokenKind.NUMBER)
+            unroll = int(float(unroll_token.text))
+            if unroll < 1:
+                raise ParseError(
+                    "unroll factor must be >= 1",
+                    unroll_token.line,
+                    unroll_token.column,
+                )
+        self._end_statement()
+
+        kernel = Kernel(name=name, freq=freq, unroll=unroll)
+        while not self._check(TokenKind.KEYWORD, "end"):
+            kernel.body.append(self._parse_assign())
+        self._expect(TokenKind.KEYWORD, "end")
+        self._end_statement()
+        return kernel
+
+    def _parse_assign(self) -> Assign:
+        target_name = self._expect(TokenKind.IDENT).text
+        target: Union[Var, ArrayRef]
+        if self._check(TokenKind.LBRACKET):
+            target = ArrayRef(target_name, self._parse_index())
+        else:
+            target = Var(target_name)
+        self._expect(TokenKind.OP, "=")
+        expr = self._parse_expr()
+        self._end_statement()
+        return Assign(target=target, expr=expr)
+
+    def _parse_index(self) -> Union[IndexExpr, IndirectIndex]:
+        self._expect(TokenKind.LBRACKET)
+        coeff = 1
+        offset = 0
+        # Indirect subscript: v[col[i]].
+        if self._check(TokenKind.IDENT) and self._peek().text != "i":
+            array_token = self._advance()
+            if not self._check(TokenKind.LBRACKET):
+                raise ParseError(
+                    "only induction variable 'i' or an indirect subscript "
+                    f"may index arrays, found {array_token.text!r}",
+                    array_token.line,
+                    array_token.column,
+                )
+            inner = self._parse_index()
+            if not isinstance(inner, IndexExpr):
+                raise ParseError(
+                    "indirect subscripts may not nest",
+                    array_token.line,
+                    array_token.column,
+                )
+            self._expect(TokenKind.RBRACKET)
+            return IndirectIndex(array_token.text, inner)
+        if self._check(TokenKind.NUMBER):
+            number = int(float(self._advance().text))
+            if self._check(TokenKind.OP, "*"):
+                self._advance()
+                ident = self._expect(TokenKind.IDENT)
+                if ident.text != "i":
+                    raise ParseError(
+                        "only induction variable 'i' may index arrays",
+                        ident.line,
+                        ident.column,
+                    )
+                coeff = number
+            else:
+                # Constant index.
+                self._expect(TokenKind.RBRACKET)
+                return IndexExpr(coeff=0, offset=number)
+        else:
+            ident = self._expect(TokenKind.IDENT)
+            if ident.text != "i":
+                raise ParseError(
+                    "only induction variable 'i' may index arrays",
+                    ident.line,
+                    ident.column,
+                )
+        if self._check(TokenKind.OP, "+") or self._check(TokenKind.OP, "-"):
+            sign = 1 if self._advance().text == "+" else -1
+            offset = sign * int(float(self._expect(TokenKind.NUMBER).text))
+        self._expect(TokenKind.RBRACKET)
+        return IndexExpr(coeff=coeff, offset=offset)
+
+    def _parse_expr(self) -> Expr:
+        node = self._parse_term()
+        while self._check(TokenKind.OP, "+") or self._check(TokenKind.OP, "-"):
+            op = self._advance().text
+            node = BinOp(op, node, self._parse_term())
+        return node
+
+    def _parse_term(self) -> Expr:
+        node = self._parse_factor()
+        while self._check(TokenKind.OP, "*") or self._check(TokenKind.OP, "/"):
+            op = self._advance().text
+            node = BinOp(op, node, self._parse_factor())
+        return node
+
+    def _parse_factor(self) -> Expr:
+        if self._check(TokenKind.NUMBER):
+            return Num(float(self._advance().text))
+        if self._check(TokenKind.LPAREN):
+            self._advance()
+            node = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return node
+        name = self._expect(TokenKind.IDENT).text
+        if self._check(TokenKind.LBRACKET):
+            return ArrayRef(name, self._parse_index())
+        return Var(name)
+
+
+def parse_program(source: str) -> ProgramAST:
+    """Parse minif source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

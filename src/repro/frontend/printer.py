@@ -1,0 +1,100 @@
+"""Pretty-printer for minif ASTs.
+
+The inverse of :func:`repro.frontend.parser.parse_program`:
+``parse_program(format_program_ast(ast))`` reproduces the AST exactly
+(tested by round-trip fuzzing in ``tests/frontend``).  Useful for
+generating workloads programmatically and emitting them as source.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    IndexExpr,
+    IndirectIndex,
+    Kernel,
+    Num,
+    ProgramAST,
+    Var,
+)
+
+#: Binding strength per operator (parser: term level binds tighter).
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def format_index(index: Union[IndexExpr, IndirectIndex]) -> str:
+    """Render a subscript the way the grammar reads it."""
+    if isinstance(index, IndirectIndex):
+        return f"{index.array}[{format_index(index.inner)}]"
+    if index.coeff == 0:
+        return str(index.offset)
+    coeff = "" if index.coeff == 1 else f"{index.coeff}*"
+    if index.offset == 0:
+        return f"{coeff}i"
+    sign = "+" if index.offset > 0 else "-"
+    return f"{coeff}i{sign}{abs(index.offset)}"
+
+
+def format_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression, parenthesising only where required.
+
+    The grammar is left-associative, so a right operand at the same
+    precedence level needs parentheses (``a - (b - c)``) while a left
+    operand does not.
+    """
+    if isinstance(expr, Num):
+        value = expr.value
+        return str(int(value)) if value == int(value) else repr(value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.array}[{format_index(expr.index)}]"
+    if isinstance(expr, BinOp):
+        mine = _PRECEDENCE[expr.op]
+        left = format_expr(expr.lhs, mine - 1)
+        right = format_expr(expr.rhs, mine)
+        text = f"{left} {expr.op} {right}"
+        if mine <= parent_precedence:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def format_assign(statement: Assign) -> str:
+    target = statement.target
+    if isinstance(target, ArrayRef):
+        target_text = f"{target.array}[{format_index(target.index)}]"
+    else:
+        target_text = target.name
+    return f"{target_text} = {format_expr(statement.expr)}"
+
+
+def format_kernel(kernel: Kernel) -> str:
+    freq = kernel.freq
+    freq_text = str(int(freq)) if freq == int(freq) else repr(freq)
+    header = f"  kernel {kernel.name} freq {freq_text}"
+    if kernel.unroll != 1:
+        header += f" unroll {kernel.unroll}"
+    lines = [header]
+    lines.extend(f"    {format_assign(s)}" for s in kernel.body)
+    lines.append("  end")
+    return "\n".join(lines)
+
+
+def format_program_ast(ast: ProgramAST) -> str:
+    """Render a whole program as parseable minif source."""
+    lines: List[str] = [f"program {ast.name}"]
+    if ast.arrays:
+        decls = ", ".join(f"{name}[1024]" for name in ast.arrays)
+        lines.append(f"  array {decls}")
+    if ast.scalars:
+        lines.append("  scalar " + ", ".join(ast.scalars))
+    for kernel in ast.kernels:
+        lines.append(format_kernel(kernel))
+    lines.append("end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,86 @@
+"""RISC intermediate representation (the compiler substrate).
+
+Public surface:
+
+* operands: :class:`VirtualReg`, :class:`PhysReg`, :class:`Immediate`,
+  :class:`MemRef`, :class:`RegClass`
+* instructions: :class:`Instruction`, :class:`Opcode` and the
+  ``load`` / ``store`` / ``alu`` / ``li`` / ``mov`` / ``nop`` builders
+* structure: :class:`BasicBlock`, :class:`Function`, :class:`Program`,
+  :class:`IRBuilder`
+* text: :func:`format_block` / :func:`parse_block` round trip
+* checking: :func:`verify_block`
+"""
+
+from .block import BasicBlock, Function, Program
+from .cfg import CFG, CFGEdge, CFGError
+from .builder import IRBuilder
+from .instructions import (
+    FP_OPCODES,
+    Instruction,
+    LOAD_OPCODES,
+    Opcode,
+    STORE_OPCODES,
+    TERMINATOR_OPCODES,
+    alu,
+    li,
+    load,
+    mov,
+    nop,
+    reset_ident_counter,
+    store,
+)
+from .operands import (
+    Immediate,
+    MemRef,
+    PhysReg,
+    RegClass,
+    Register,
+    VirtualReg,
+    is_register,
+)
+from .parser import IRParseError, parse_block, parse_instruction, parse_register
+from .printer import format_block, format_function, format_instruction, format_program
+from .verifier import VerificationError, is_schedulable, verify_block, verify_program
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "CFGEdge",
+    "CFGError",
+    "Function",
+    "Program",
+    "IRBuilder",
+    "Instruction",
+    "Opcode",
+    "FP_OPCODES",
+    "LOAD_OPCODES",
+    "STORE_OPCODES",
+    "TERMINATOR_OPCODES",
+    "alu",
+    "li",
+    "load",
+    "mov",
+    "nop",
+    "store",
+    "reset_ident_counter",
+    "Immediate",
+    "MemRef",
+    "PhysReg",
+    "RegClass",
+    "Register",
+    "VirtualReg",
+    "is_register",
+    "IRParseError",
+    "parse_block",
+    "parse_instruction",
+    "parse_register",
+    "format_block",
+    "format_function",
+    "format_instruction",
+    "format_program",
+    "VerificationError",
+    "is_schedulable",
+    "verify_block",
+    "verify_program",
+]

@@ -1,0 +1,161 @@
+"""A small convenience builder for constructing IR by hand.
+
+Tests, examples and the paper-DAG reconstructions build blocks through
+this interface rather than instantiating :class:`Instruction` records
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from .block import BasicBlock, Function
+from .instructions import Instruction, Opcode, alu, li, load, mov, store
+from .operands import MemRef, RegClass, Register, VirtualReg
+
+
+class IRBuilder:
+    """Builds instructions into the current basic block of a function.
+
+    Example::
+
+        fn = Function("kernel")
+        b = IRBuilder(fn, "entry")
+        a = b.load("A", 0)
+        c = b.load("A", 1)
+        s = b.add(a, c)
+        b.store(s, "B", 0)
+    """
+
+    def __init__(self, function: Optional[Function] = None, block: str = "entry"):
+        self.function = function if function is not None else Function("anon")
+        self.block = self.function.add_block(BasicBlock(block))
+        self._bases: Dict[str, Register] = {}
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    def start_block(self, name: str, frequency: float = 1.0) -> BasicBlock:
+        """Begin a new basic block; subsequent emissions go there."""
+        self.block = self.function.add_block(
+            BasicBlock(name, frequency=frequency)
+        )
+        return self.block
+
+    def set_frequency(self, frequency: float) -> None:
+        self.block.frequency = frequency
+
+    # ------------------------------------------------------------------
+    # Register helpers
+    # ------------------------------------------------------------------
+    def vreg(self, rclass: RegClass = RegClass.INT) -> VirtualReg:
+        return self.function.new_vreg(rclass)
+
+    def base_of(self, region: str) -> Register:
+        """The (live-in) base-pointer register of an array region."""
+        if region not in self._bases:
+            base = self.function.new_vreg(RegClass.INT)
+            self._bases[region] = base
+            self.block.live_in.append(base)
+        return self._bases[region]
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, instruction: Instruction) -> Instruction:
+        return self.block.append(instruction)
+
+    def load(
+        self,
+        region: str,
+        offset: int = 0,
+        rclass: RegClass = RegClass.FP,
+        affine_coeff: Optional[int] = 1,
+        tag: str = "",
+    ) -> VirtualReg:
+        """Emit a load from ``region[offset]`` and return its result."""
+        dst = self.vreg(rclass)
+        mem = MemRef(
+            region=region,
+            base=self.base_of(region),
+            offset=offset,
+            affine_coeff=affine_coeff,
+        )
+        self.emit(load(dst, mem, tag=tag))
+        return dst
+
+    def store(
+        self,
+        value: Register,
+        region: str,
+        offset: int = 0,
+        affine_coeff: Optional[int] = 1,
+        tag: str = "",
+    ) -> Instruction:
+        """Emit a store of ``value`` to ``region[offset]``."""
+        mem = MemRef(
+            region=region,
+            base=self.base_of(region),
+            offset=offset,
+            affine_coeff=affine_coeff,
+        )
+        return self.emit(store(value, mem, tag=tag))
+
+    def _binary(
+        self, opcode: Opcode, lhs: Register, rhs: Register, latency: int = 1
+    ) -> VirtualReg:
+        rclass = lhs.rclass
+        dst = self.vreg(rclass)
+        self.emit(alu(opcode, dst, (lhs, rhs), latency=latency))
+        return dst
+
+    def add(self, lhs: Register, rhs: Register) -> VirtualReg:
+        op = Opcode.FADD if lhs.rclass is RegClass.FP else Opcode.ADD
+        return self._binary(op, lhs, rhs)
+
+    def sub(self, lhs: Register, rhs: Register) -> VirtualReg:
+        op = Opcode.FSUB if lhs.rclass is RegClass.FP else Opcode.SUB
+        return self._binary(op, lhs, rhs)
+
+    def mul(self, lhs: Register, rhs: Register) -> VirtualReg:
+        op = Opcode.FMUL if lhs.rclass is RegClass.FP else Opcode.MUL
+        return self._binary(op, lhs, rhs)
+
+    def div(self, lhs: Register, rhs: Register) -> VirtualReg:
+        op = Opcode.FDIV if lhs.rclass is RegClass.FP else Opcode.DIV
+        return self._binary(op, lhs, rhs)
+
+    def fma(self, a: Register, b: Register, c: Register) -> VirtualReg:
+        """Fused multiply-add: ``a * b + c``."""
+        dst = self.vreg(RegClass.FP)
+        self.emit(Instruction(Opcode.FMA, defs=(dst,), uses=(a, b, c)))
+        return dst
+
+    def li(self, value: int) -> VirtualReg:
+        dst = self.vreg(RegClass.INT)
+        self.emit(li(dst, value))
+        return dst
+
+    def mov(self, src: Register) -> VirtualReg:
+        dst = self.vreg(src.rclass)
+        self.emit(mov(dst, src))
+        return dst
+
+    def op(
+        self,
+        opcode: Opcode,
+        srcs: Sequence[Register],
+        rclass: Optional[RegClass] = None,
+        latency: int = 1,
+    ) -> VirtualReg:
+        """Emit an arbitrary ALU-style operation."""
+        if rclass is None:
+            rclass = srcs[0].rclass if srcs else RegClass.INT
+        dst = self.vreg(rclass)
+        self.emit(
+            Instruction(opcode, defs=(dst,), uses=tuple(srcs), latency=latency)
+        )
+        return dst
+
+    def mark_live_out(self, regs: Iterable[Register]) -> None:
+        self.block.live_out.extend(regs)

@@ -1,0 +1,92 @@
+"""Named machine configurations from the paper's evaluation.
+
+Tables 2 and 3 enumerate *system rows*: a memory system together with
+the optimistic latency the traditional scheduler is configured with.
+Cache and mixed models contribute two rows each (hit time and
+effective access time); network models contribute one (the mean).
+:func:`paper_system_rows` reproduces the exact row list, grouped the
+way the tables group them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .memory import CacheMemory, MemorySystem, MixedMemory, NetworkMemory
+
+# ----------------------------------------------------------------------
+# The twelve memory systems of Section 4.5
+# ----------------------------------------------------------------------
+L80_2_5 = CacheMemory(hit_rate=0.80, hit_latency=2, miss_latency=5)
+L80_2_10 = CacheMemory(hit_rate=0.80, hit_latency=2, miss_latency=10)
+L95_2_5 = CacheMemory(hit_rate=0.95, hit_latency=2, miss_latency=5)
+L95_2_10 = CacheMemory(hit_rate=0.95, hit_latency=2, miss_latency=10)
+
+N_2_2 = NetworkMemory(mean=2, std=2)
+N_3_2 = NetworkMemory(mean=3, std=2)
+N_5_2 = NetworkMemory(mean=5, std=2)
+N_2_5 = NetworkMemory(mean=2, std=5)
+N_3_5 = NetworkMemory(mean=3, std=5)
+N_5_5 = NetworkMemory(mean=5, std=5)
+N_30_5 = NetworkMemory(mean=30, std=5)
+
+L80_N30_5 = MixedMemory(hit_rate=0.80, hit_latency=2, miss_mean=30, miss_std=5)
+
+CACHE_SYSTEMS: Tuple[CacheMemory, ...] = (L80_2_5, L80_2_10, L95_2_5, L95_2_10)
+NETWORK_SYSTEMS: Tuple[NetworkMemory, ...] = (
+    N_2_2,
+    N_3_2,
+    N_5_2,
+    N_2_5,
+    N_3_5,
+    N_5_5,
+    N_30_5,
+)
+MIXED_SYSTEMS: Tuple[MixedMemory, ...] = (L80_N30_5,)
+
+ALL_SYSTEMS: Tuple[MemorySystem, ...] = (
+    CACHE_SYSTEMS + NETWORK_SYSTEMS + MIXED_SYSTEMS
+)
+
+SYSTEMS_BY_NAME: Dict[str, MemorySystem] = {m.name: m for m in ALL_SYSTEMS}
+
+#: The table groupings, as printed in the paper.
+GROUPS: Tuple[Tuple[str, Tuple[MemorySystem, ...]], ...] = (
+    ("Data cache; bus-based interconnection", CACHE_SYSTEMS),
+    ("No cache; network interconnection", NETWORK_SYSTEMS),
+    ("Mixed", MIXED_SYSTEMS),
+)
+
+
+@dataclass(frozen=True)
+class SystemRow:
+    """One row of Tables 2/3: a memory model plus the traditional
+    scheduler's assumed (optimistic) latency."""
+
+    memory: MemorySystem
+    optimistic_latency: float
+    group: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.memory.name} @ {self.optimistic_latency:g}"
+
+
+def paper_system_rows() -> List[SystemRow]:
+    """The 17 system rows of Table 2, in table order."""
+    rows: List[SystemRow] = []
+    for group, systems in GROUPS:
+        for memory in systems:
+            for latency in memory.optimistic_latencies:
+                rows.append(SystemRow(memory, latency, group))
+    return rows
+
+
+def system_row(memory_name: str, optimistic_latency: float) -> SystemRow:
+    """Look up a single row by memory name and latency."""
+    memory = SYSTEMS_BY_NAME[memory_name]
+    for group, systems in GROUPS:
+        if memory in systems:
+            return SystemRow(memory, optimistic_latency, group)
+    raise KeyError(memory_name)

@@ -1,0 +1,80 @@
+"""Processor-level models (Section 4.4).
+
+"Processor-level attributes model a processor's ability to exploit
+load level parallelism."  All three of the paper's models issue one
+instruction per cycle, never block on a load *by default* (non-blocking
+loads), and maintain store/load consistency in hardware.  They differ
+in how much latency they can actually hide:
+
+* ``UNLIMITED`` -- no limit on outstanding loads ("similar to
+  theoretical dataflow machines"; the best-case reference).
+* ``MAX-8`` -- at most eight loads simultaneously executing; issuing a
+  ninth blocks until one of the eight completes.
+* ``LEN-8`` -- a load may be outstanding for at most eight cycles; if
+  its data has not returned by then, the processor blocks until it
+  does (the Tera-style restriction).
+
+``issue_width`` > 1 is the Section 6 superscalar extension and is not
+used by the paper's main experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """An in-order processor configuration.
+
+    ``blocking_loads`` models the *conventional* design the paper's
+    introduction contrasts against: the processor stalls at every load
+    until its data returns, so no instruction ever overlaps a memory
+    access and instruction scheduling cannot hide latency at all.  All
+    of the paper's machines are non-blocking (the default).
+    """
+
+    name: str
+    max_outstanding_loads: Optional[int] = None
+    max_load_cycles: Optional[int] = None
+    issue_width: int = 1
+    blocking_loads: bool = False
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if self.max_outstanding_loads is not None and self.max_outstanding_loads < 1:
+            raise ValueError("max_outstanding_loads must be >= 1")
+        if self.max_load_cycles is not None and self.max_load_cycles < 1:
+            raise ValueError("max_load_cycles must be >= 1")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Unlimited outstanding loads (dataflow-like best case).
+UNLIMITED = ProcessorModel("UNLIMITED")
+
+#: At most eight outstanding loads.
+MAX_8 = ProcessorModel("MAX-8", max_outstanding_loads=8)
+
+#: Loads block the processor eight cycles after issue.
+LEN_8 = ProcessorModel("LEN-8", max_load_cycles=8)
+
+#: The paper's three processor models, in presentation order.
+PAPER_PROCESSORS = (UNLIMITED, MAX_8, LEN_8)
+
+#: The conventional stall-on-load design (Section 1's baseline
+#: hardware); equivalent to LEN-0 conceptually.
+BLOCKING = ProcessorModel("BLOCKING", blocking_loads=True)
+
+
+def superscalar(width: int, base: ProcessorModel = UNLIMITED) -> ProcessorModel:
+    """A ``width``-issue variant of ``base`` (Section 6 extension)."""
+    return ProcessorModel(
+        name=f"{base.name}x{width}",
+        max_outstanding_loads=base.max_outstanding_loads,
+        max_load_cycles=base.max_load_cycles,
+        issue_width=width,
+    )

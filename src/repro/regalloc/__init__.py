@@ -1,0 +1,27 @@
+"""Register allocation substrate (linear scan + FIFO spill pool)."""
+
+from .chaitin import ChaitinAllocator, allocate_block_chaitin
+from .linear_scan import AllocationResult, LinearScanAllocator, allocate_block
+from .spill import SpillRewriter, SpillStats
+from .target import (
+    BASE_SPILL_POOL,
+    DEFAULT_REGISTER_FILE,
+    RegisterFile,
+    TIGHT_REGISTER_FILE,
+    UNIMPROVED_REGISTER_FILE,
+)
+
+__all__ = [
+    "AllocationResult",
+    "ChaitinAllocator",
+    "allocate_block_chaitin",
+    "LinearScanAllocator",
+    "allocate_block",
+    "SpillRewriter",
+    "SpillStats",
+    "BASE_SPILL_POOL",
+    "DEFAULT_REGISTER_FILE",
+    "RegisterFile",
+    "TIGHT_REGISTER_FILE",
+    "UNIMPROVED_REGISTER_FILE",
+]

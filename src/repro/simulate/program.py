@@ -1,0 +1,119 @@
+"""Profile-weighted whole-program simulation.
+
+The paper runs "the full instruction-by-instruction simulation 30
+times with new random numbers on each iteration" per basic block, then
+scales block results by profiled execution frequency and sums.  This
+module produces those per-block sample matrices and the derived
+program-level series; the bootstrap machinery lives in
+:mod:`repro.simulate.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..ir.block import BasicBlock
+from ..machine.memory import MemorySystem
+from ..machine.processor import ProcessorModel
+from .simulator import simulate_block
+
+#: The paper's run count: "Our method executes the full instruction-by-
+#: instruction simulation 30 times" (Section 4.3).
+DEFAULT_RUNS = 30
+
+
+@dataclass
+class BlockSamples:
+    """30 (by default) simulated executions of one block."""
+
+    block: BasicBlock
+    cycles: np.ndarray      # shape (runs,)
+    interlocks: np.ndarray  # shape (runs,)
+
+    @property
+    def frequency(self) -> float:
+        return self.block.frequency
+
+    @property
+    def instructions(self) -> int:
+        return len(self.block)
+
+
+@dataclass
+class ProgramRuns:
+    """Per-block sample matrices for one (program, machine, scheduler)."""
+
+    name: str
+    blocks: List[BlockSamples] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.blocks[0].cycles) if self.blocks else 0
+
+    def weighted_cycles(self) -> np.ndarray:
+        """Program runtime per run: sum of freq-scaled block cycles."""
+        total = np.zeros(self.runs)
+        for sample in self.blocks:
+            total += sample.frequency * sample.cycles
+        return total
+
+    def weighted_interlocks(self) -> np.ndarray:
+        total = np.zeros(self.runs)
+        for sample in self.blocks:
+            total += sample.frequency * sample.interlocks
+        return total
+
+    @property
+    def dynamic_instructions(self) -> float:
+        """Profile-weighted instructions executed (``TIns`` / ``BIns``)."""
+        return sum(s.frequency * s.instructions for s in self.blocks)
+
+    def interlock_percentage(self) -> float:
+        """Percent of total cycles that are interlocks (``TI%``/``BI%``)."""
+        cycles = self.weighted_cycles()
+        interlocks = self.weighted_interlocks()
+        total = cycles.sum()
+        if total == 0:
+            return 0.0
+        return 100.0 * interlocks.sum() / total
+
+    def mean_runtime(self) -> float:
+        return float(self.weighted_cycles().mean())
+
+
+def sample_block(
+    block: BasicBlock,
+    processor: ProcessorModel,
+    memory: MemorySystem,
+    rng: np.random.Generator,
+    runs: int = DEFAULT_RUNS,
+) -> BlockSamples:
+    """Simulate ``block`` ``runs`` times with fresh latency draws."""
+    n_loads = sum(1 for i in block.instructions if i.is_load)
+    cycles = np.empty(runs, dtype=np.int64)
+    interlocks = np.empty(runs, dtype=np.int64)
+    # One vectorised draw covers every run.
+    all_latencies = memory.sample_many(rng, n_loads * runs).reshape(runs, n_loads)
+    for r in range(runs):
+        result = simulate_block(block.instructions, all_latencies[r], processor)
+        cycles[r] = result.cycles
+        interlocks[r] = result.interlock_cycles
+    return BlockSamples(block=block, cycles=cycles, interlocks=interlocks)
+
+
+def simulate_program(
+    blocks: Sequence[BasicBlock],
+    processor: ProcessorModel,
+    memory: MemorySystem,
+    rng: np.random.Generator,
+    runs: int = DEFAULT_RUNS,
+    name: str = "program",
+) -> ProgramRuns:
+    """Sample every block of a compiled program."""
+    out = ProgramRuns(name=name)
+    for block in blocks:
+        out.blocks.append(sample_block(block, processor, memory, rng, runs))
+    return out

@@ -1,0 +1,258 @@
+"""Instruction-level basic-block simulator (Section 4.3).
+
+The machine model matches the paper's accounting exactly: an in-order
+processor issues one instruction per cycle (``issue_width`` > 1 is the
+superscalar extension); a load's destination register becomes ready
+``latency`` cycles after issue, with the latency drawn from the memory
+system; any instruction whose source registers are not ready stalls
+the processor (hardware interlocks).  Consequently, for single-issue
+machines, ``runtime = instructions executed + interlock cycles``.
+
+Processor constraints (Section 4.4):
+
+* ``max_outstanding_loads`` (MAX-8): a load cannot issue while that
+  many loads are still outstanding; it waits for the earliest
+  completion.
+* ``max_load_cycles`` (LEN-8): a load outstanding longer than the
+  limit freezes the processor from ``issue + limit`` until its data
+  returns; no instruction issues inside that window.
+
+Simulation is per basic block with cold state (the paper schedules and
+simulates block by block); a trailing load whose consumer lives in a
+later block costs nothing, identically for both schedulers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import Instruction, Opcode
+from ..ir.operands import Register
+from ..machine.memory import MemorySystem
+from ..machine.processor import ProcessorModel, UNLIMITED
+
+
+@dataclass(frozen=True)
+class BlockSimResult:
+    """Cycle accounting for one simulated execution of one block."""
+
+    cycles: int
+    instructions: int
+    interlock_cycles: int
+
+    @property
+    def interlock_fraction(self) -> float:
+        """Fraction of cycles that were interlock (stall) cycles."""
+        if self.cycles == 0:
+            return 0.0
+        return self.interlock_cycles / self.cycles
+
+
+class LatencyOverrunError(ValueError):
+    """Raised when fewer latencies than loads are supplied."""
+
+
+def simulate_block(
+    instructions: Sequence[Instruction],
+    latencies: Sequence[int],
+    processor: ProcessorModel = UNLIMITED,
+) -> BlockSimResult:
+    """Simulate one execution of a straight-line instruction sequence.
+
+    ``latencies`` supplies the sampled latency of each load, in program
+    order (pre-drawing them lets callers vectorise the sampling across
+    the 30 runs of an experiment).
+    """
+    if processor.issue_width > 1:
+        return _simulate_superscalar(instructions, latencies, processor)
+
+    reg_ready: Dict[Register, int] = {}
+    outstanding: List[int] = []  # completion times (MAX-n bookkeeping)
+    windows: List[Tuple[int, int]] = []  # LEN-n blocking windows
+    load_index = 0
+    next_free = 0
+    interlock = 0
+    issued = 0
+
+    for inst in instructions:
+        if inst.opcode is Opcode.NOP:
+            continue  # virtual no-ops never execute (hardware interlocks)
+
+        t = next_free
+        for reg in inst.all_uses():
+            ready = reg_ready.get(reg, 0)
+            if ready > t:
+                t = ready
+
+        if inst.is_load:
+            if load_index >= len(latencies):
+                raise LatencyOverrunError(
+                    f"{load_index + 1} loads but only {len(latencies)} latencies"
+                )
+            latency = int(latencies[load_index])
+            load_index += 1
+
+            if processor.max_outstanding_loads is not None:
+                t = _wait_for_load_slot(
+                    outstanding, t, processor.max_outstanding_loads
+                )
+        else:
+            latency = inst.latency
+
+        if processor.max_load_cycles is not None:
+            t = _apply_blocking_windows(windows, t)
+
+        interlock += t - next_free
+        issued += 1
+        completion = t + latency
+
+        if inst.is_load:
+            if processor.max_outstanding_loads is not None:
+                heapq.heappush(outstanding, completion)
+            if (
+                processor.max_load_cycles is not None
+                and latency > processor.max_load_cycles
+            ):
+                windows.append((t + processor.max_load_cycles, completion))
+
+        for reg in inst.defs:
+            reg_ready[reg] = completion
+        if inst.is_load and processor.blocking_loads:
+            # Conventional hardware: stall until the data returns.
+            interlock += completion - (t + 1)
+            next_free = completion
+        else:
+            next_free = t + 1
+
+    cycles = next_free
+    return BlockSimResult(
+        cycles=cycles, instructions=issued, interlock_cycles=interlock
+    )
+
+
+def _wait_for_load_slot(outstanding: List[int], t: int, limit: int) -> int:
+    """Delay ``t`` until fewer than ``limit`` loads are outstanding."""
+    while True:
+        while outstanding and outstanding[0] <= t:
+            heapq.heappop(outstanding)
+        if len(outstanding) < limit:
+            return t
+        t = outstanding[0]
+
+
+def _apply_blocking_windows(windows: List[Tuple[int, int]], t: int) -> int:
+    """Push ``t`` past every LEN-n freeze window it falls into."""
+    moved = True
+    while moved:
+        moved = False
+        for start, end in windows:
+            if start <= t < end:
+                t = end
+                moved = True
+    # Windows fully in the past can be dropped.
+    windows[:] = [(s, e) for s, e in windows if e > t]
+    return t
+
+
+def _simulate_superscalar(
+    instructions: Sequence[Instruction],
+    latencies: Sequence[int],
+    processor: ProcessorModel,
+) -> BlockSimResult:
+    """In-order multi-issue variant (Section 6 extension).
+
+    Up to ``issue_width`` instructions issue per cycle, in order; a
+    stalled instruction stalls everything behind it.  Interlock cycles
+    are reported as whole cycles in which nothing issued.
+    """
+    width = processor.issue_width
+    reg_ready: Dict[Register, int] = {}
+    outstanding: List[int] = []
+    windows: List[Tuple[int, int]] = []
+    load_index = 0
+    cycle = 0
+    slots_used = 0
+    issued = 0
+    busy_cycles: set = set()
+
+    for inst in instructions:
+        if inst.opcode is Opcode.NOP:
+            continue
+        t = cycle
+        if slots_used >= width:
+            t = cycle + 1
+        for reg in inst.all_uses():
+            ready = reg_ready.get(reg, 0)
+            if ready > t:
+                t = ready
+        if inst.is_load:
+            if load_index >= len(latencies):
+                raise LatencyOverrunError(
+                    f"{load_index + 1} loads but only {len(latencies)} latencies"
+                )
+            latency = int(latencies[load_index])
+            load_index += 1
+            if processor.max_outstanding_loads is not None:
+                t = _wait_for_load_slot(
+                    outstanding, t, processor.max_outstanding_loads
+                )
+        else:
+            latency = inst.latency
+        if processor.max_load_cycles is not None:
+            t = _apply_blocking_windows(windows, t)
+
+        if t > cycle:
+            cycle, slots_used = t, 0
+        completion = cycle + latency
+        if inst.is_load:
+            if processor.max_outstanding_loads is not None:
+                heapq.heappush(outstanding, completion)
+            if (
+                processor.max_load_cycles is not None
+                and latency > processor.max_load_cycles
+            ):
+                windows.append((cycle + processor.max_load_cycles, completion))
+        for reg in inst.defs:
+            reg_ready[reg] = completion
+        busy_cycles.add(cycle)
+        slots_used += 1
+        issued += 1
+
+    total_cycles = cycle + 1 if issued else 0
+    interlock = total_cycles - len(busy_cycles)
+    return BlockSimResult(
+        cycles=total_cycles, instructions=issued, interlock_cycles=interlock
+    )
+
+
+def run_block(
+    block: BasicBlock,
+    processor: ProcessorModel,
+    memory: MemorySystem,
+    rng: np.random.Generator,
+) -> BlockSimResult:
+    """Sample latencies from ``memory`` and simulate ``block`` once."""
+    n_loads = sum(1 for i in block.instructions if i.is_load)
+    latencies = memory.sample_many(rng, n_loads)
+    return simulate_block(block.instructions, latencies, processor)
+
+
+def interlock_sweep(
+    block: BasicBlock,
+    latencies: Sequence[int],
+    processor: ProcessorModel = UNLIMITED,
+) -> List[int]:
+    """Interlock counts of ``block`` at each fixed latency (Figure 3)."""
+    out: List[int] = []
+    n_loads = sum(1 for i in block.instructions if i.is_load)
+    for latency in latencies:
+        result = simulate_block(
+            block.instructions, [latency] * n_loads, processor
+        )
+        out.append(result.interlock_cycles)
+    return out

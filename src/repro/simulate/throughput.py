@@ -1,0 +1,139 @@
+"""Loop steady-state throughput analysis.
+
+Section 6 points at software pipelining as a block-enlarging companion
+to balanced scheduling.  Short of a full modulo scheduler, the useful
+question it answers -- *what is the asymptotic cycles-per-iteration of
+this loop body under a given scheduler and latency?* -- can be
+measured directly: unroll the body ``k`` times (wiring loop-carried
+values through), schedule, simulate, and fit the slope of cycles
+against ``k``.  The intercept captures one-time pipeline fill cost;
+the slope is the steady-state initiation interval the schedule
+sustains.
+
+:func:`throughput` does exactly that, and
+:func:`recurrence_bound` computes the classic lower bound -- the
+longest latency cycle through the loop-carried values divided by its
+iteration distance (distance is always 1 for minif's carried scalars)
+-- so results can be sanity-checked against what any scheduler could
+possibly achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.dependence import build_dag
+from ..core.policy import SchedulingPolicy
+from ..extensions.unrolling import enlarge_block, infer_carried
+from ..ir.block import BasicBlock
+from ..ir.operands import Register
+from ..machine.processor import ProcessorModel, UNLIMITED
+from .simulator import simulate_block
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Fitted steady-state behaviour of a scheduled loop."""
+
+    cycles_per_iteration: float
+    startup_cycles: float
+    samples: Tuple[Tuple[int, int], ...]  # (unroll factor, cycles)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cycles_per_iteration:.2f} cycles/iteration "
+            f"(+{self.startup_cycles:.1f} startup)"
+        )
+
+
+def throughput(
+    body: BasicBlock,
+    policy: SchedulingPolicy,
+    load_latency: int,
+    factors: Sequence[int] = (2, 4, 8),
+    processor: ProcessorModel = UNLIMITED,
+    carried: Optional[Dict[Register, Register]] = None,
+) -> ThroughputResult:
+    """Measure the loop's sustained cycles/iteration under ``policy``.
+
+    The body is enlarged by each factor, scheduled fresh each time
+    (balanced weights see the whole enlarged block, so bigger factors
+    genuinely help), simulated at the fixed ``load_latency``, and a
+    least-squares line fitted through (iterations, cycles).
+    """
+    if len(factors) < 2:
+        raise ValueError("need at least two unroll factors to fit a slope")
+    if carried is None:
+        carried = infer_carried(body)
+
+    samples = []
+    for factor in factors:
+        enlarged = enlarge_block(body, factor, carried=dict(carried))
+        scheduled = policy.schedule_block(enlarged).block
+        n_loads = sum(1 for i in scheduled if i.is_load)
+        result = simulate_block(
+            scheduled.instructions, [load_latency] * n_loads, processor
+        )
+        samples.append((factor, result.cycles))
+
+    xs = np.array([s[0] for s in samples], dtype=float)
+    ys = np.array([s[1] for s in samples], dtype=float)
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return ThroughputResult(
+        cycles_per_iteration=float(slope),
+        startup_cycles=float(max(intercept, 0.0)),
+        samples=tuple(samples),
+    )
+
+
+def recurrence_bound(body: BasicBlock, load_latency: int) -> Fraction:
+    """The recurrence-constrained lower bound on cycles/iteration.
+
+    For each loop-carried value, the longest latency path from its
+    live-in register to the def that feeds the next iteration bounds
+    the initiation interval from below (iteration distance 1).  Loads
+    on the path are costed at ``load_latency``; other instructions at
+    their static latency.  Returns at least 1 (the issue slot of the
+    body's cheapest instruction).
+    """
+    carried = infer_carried(body)
+    if not carried:
+        return Fraction(1)
+    dag = build_dag(body)
+    for node in dag.load_nodes():
+        dag.set_weight(node, load_latency)
+
+    n = len(dag)
+    # longest[v] = max latency path ending at v's issue, from any
+    # carried live-in use.
+    best = Fraction(0)
+    for source, sink in carried.items():
+        # Nodes reading the live-in `sink`; nodes defining `source`.
+        start_nodes = [
+            v for v in dag.nodes() if sink in dag.instructions[v].all_uses()
+        ]
+        end_nodes = [
+            v for v in dag.nodes() if source in dag.instructions[v].defs
+        ]
+        if not start_nodes or not end_nodes:
+            continue
+        distance: Dict[int, Fraction] = {}
+        for v in dag.nodes():
+            incoming = [
+                distance[p] + Fraction(dag.edge_latency(p, v))
+                for p in dag.predecessors(v)
+                if p in distance
+            ]
+            if v in start_nodes:
+                incoming.append(Fraction(0))
+            if incoming:
+                distance[v] = max(incoming)
+        for end in end_nodes:
+            if end in distance:
+                # +1: the def's own issue slot closes the cycle.
+                best = max(best, distance[end] + 1)
+    return max(best, Fraction(1))

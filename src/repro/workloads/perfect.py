@@ -1,0 +1,44 @@
+"""Loader for the synthetic Perfect Club suite.
+
+:func:`load_program` compiles one stand-in from its minif source;
+:func:`load_suite` compiles all eight in the paper's table order.
+Results are cached -- the IR is deterministic, so sharing is safe as
+long as callers treat blocks as immutable inputs (both schedulers copy
+rather than mutate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..frontend.lowering import compile_minif
+from ..ir.block import Program
+from .kernels import PROGRAM_ORDER, PROGRAM_SOURCES
+
+_cache: Dict[str, Program] = {}
+
+
+def program_names() -> List[str]:
+    """The eight program names in the paper's presentation order."""
+    return list(PROGRAM_ORDER)
+
+
+def load_program(name: str) -> Program:
+    """Compile one stand-in program (cached)."""
+    if name not in PROGRAM_SOURCES:
+        raise KeyError(
+            f"unknown program {name!r}; choose from {sorted(PROGRAM_SOURCES)}"
+        )
+    if name not in _cache:
+        _cache[name] = compile_minif(PROGRAM_SOURCES[name])
+    return _cache[name]
+
+
+def load_suite() -> Dict[str, Program]:
+    """Compile all eight programs, in table order."""
+    return {name: load_program(name) for name in PROGRAM_ORDER}
+
+
+def clear_cache() -> None:
+    """Drop compiled programs (tests that mutate IR use this)."""
+    _cache.clear()

@@ -1,0 +1,99 @@
+"""Unit and property tests for transitive closures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    bits,
+    closures,
+    independent_mask,
+    predecessor_closure,
+    reachable,
+    successor_closure,
+)
+from repro.analysis.dag import CodeDAG, DepKind
+from repro.workloads import random_dag
+
+
+def chain_dag(n=4):
+    import repro.ir as ir
+
+    instrs = [
+        ir.alu(ir.Opcode.ADD, ir.VirtualReg(100 + k), ()) for k in range(n)
+    ]
+    dag = CodeDAG(instrs)
+    for k in range(n - 1):
+        dag.add_edge(k, k + 1, DepKind.TRUE)
+    return dag
+
+
+class TestClosures:
+    def test_chain_successor_closure(self):
+        masks = successor_closure(chain_dag(4))
+        assert masks[0] == 0b1110
+        assert masks[3] == 0
+
+    def test_chain_predecessor_closure(self):
+        masks = predecessor_closure(chain_dag(4))
+        assert masks[0] == 0
+        assert masks[3] == 0b0111
+
+    def test_closures_pair(self):
+        dag = chain_dag(3)
+        preds, succs = closures(dag)
+        assert preds == predecessor_closure(dag)
+        assert succs == successor_closure(dag)
+
+    def test_reachable(self):
+        dag = chain_dag(3)
+        assert reachable(dag, 0, 2)
+        assert reachable(dag, 1, 1)
+        assert not reachable(dag, 2, 0)
+
+    @given(st.integers(0, 4000))
+    @settings(max_examples=60)
+    def test_closures_agree_with_bfs(self, seed):
+        rng = np.random.default_rng(seed)
+        dag = random_dag(rng, n_nodes=10, edge_probability=0.3)
+        succ_masks = successor_closure(dag)
+        pred_masks = predecessor_closure(dag)
+        for start in dag.nodes():
+            seen = set()
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for nxt in dag.successors(node):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            assert succ_masks[start] == sum(1 << s for s in seen)
+            for s in seen:
+                assert pred_masks[s] >> start & 1
+
+
+class TestIndependentMask:
+    def test_excludes_self_and_relatives(self):
+        dag = chain_dag(4)
+        preds, succs = closures(dag)
+        # Node 1's relatives are 0 (pred) and 2, 3 (succs): nothing left.
+        assert independent_mask(dag, 1, preds, succs) == 0
+
+    def test_independent_nodes_survive(self):
+        dag = chain_dag(2)
+        # Add two disconnected nodes.
+        import repro.ir as ir
+
+        instrs = list(dag.instructions) + [
+            ir.alu(ir.Opcode.ADD, ir.VirtualReg(200), ()),
+            ir.alu(ir.Opcode.ADD, ir.VirtualReg(201), ()),
+        ]
+        bigger = CodeDAG(instrs)
+        bigger.add_edge(0, 1, DepKind.TRUE)
+        preds, succs = closures(bigger)
+        assert independent_mask(bigger, 0, preds, succs) == 0b1100
+
+
+def test_bits_enumerates_ascending():
+    assert list(bits(0b101001)) == [0, 3, 5]
+    assert list(bits(0)) == []

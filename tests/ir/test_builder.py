@@ -1,0 +1,75 @@
+"""Unit tests for the IRBuilder convenience layer."""
+
+from repro.ir import IRBuilder, Opcode, RegClass, verify_block
+
+
+class TestIRBuilder:
+    def test_quickstart_block_is_well_formed(self):
+        b = IRBuilder()
+        x = b.load("A", 0)
+        y = b.load("A", 1)
+        b.store(b.add(x, y), "B", 0)
+        verify_block(b.block)
+        assert len(b.block) == 4
+        assert len(b.block.loads) == 2
+
+    def test_base_pointer_shared_per_region(self):
+        b = IRBuilder()
+        b.load("A", 0)
+        b.load("A", 3)
+        bases = {i.mem.base for i in b.block.loads}
+        assert len(bases) == 1
+        assert b.base_of("A") in b.block.live_in
+
+    def test_distinct_regions_distinct_bases(self):
+        b = IRBuilder()
+        b.load("A", 0)
+        b.load("B", 0)
+        assert b.base_of("A") != b.base_of("B")
+
+    def test_fp_arithmetic_selects_fp_opcode(self):
+        b = IRBuilder()
+        x = b.load("A", 0)  # FP by default
+        y = b.load("A", 1)
+        b.add(x, y)
+        b.mul(x, y)
+        b.div(x, y)
+        b.sub(x, y)
+        opcodes = [i.opcode for i in b.block.instructions[2:]]
+        assert opcodes == [Opcode.FADD, Opcode.FMUL, Opcode.FDIV, Opcode.FSUB]
+
+    def test_int_arithmetic_selects_int_opcode(self):
+        b = IRBuilder()
+        x = b.li(1)
+        y = b.li(2)
+        assert b.add(x, y)
+        assert b.block.instructions[-1].opcode is Opcode.ADD
+
+    def test_fma(self):
+        b = IRBuilder()
+        x = b.load("A", 0)
+        result = b.fma(x, x, x)
+        assert result.rclass is RegClass.FP
+        assert b.block.instructions[-1].opcode is Opcode.FMA
+
+    def test_start_block(self):
+        b = IRBuilder()
+        b.load("A", 0)
+        second = b.start_block("second", frequency=5.0)
+        b.li(1)
+        assert len(b.function.blocks) == 2
+        assert second.frequency == 5.0
+        assert len(second) == 1
+
+    def test_mark_live_out(self):
+        b = IRBuilder()
+        x = b.load("A", 0)
+        b.mark_live_out([x])
+        assert x in b.block.live_out
+
+    def test_mov(self):
+        b = IRBuilder()
+        x = b.load("A", 0)
+        y = b.mov(x)
+        assert y != x
+        assert b.block.instructions[-1].opcode is Opcode.MOV

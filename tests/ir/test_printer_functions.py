@@ -1,0 +1,42 @@
+"""Tests for function/program-level textual rendering."""
+
+from repro.frontend import compile_minif
+from repro.ir import format_function, format_program
+
+SOURCE = """
+program render
+  array a[16], b[16]
+  kernel first freq 3
+    t1 = a[i] + b[i]
+    b[i] = t1
+  end
+  kernel second freq 7
+    s = s + a[i]
+  end
+end
+"""
+
+
+def test_format_function_contains_blocks():
+    program = compile_minif(SOURCE)
+    text = format_function(program.functions[0])
+    assert text.startswith("func first:")
+    assert "block first freq 3:" in text
+    assert "load" in text
+
+
+def test_format_program_lists_every_function():
+    program = compile_minif(SOURCE)
+    text = format_program(program)
+    assert text.startswith("program render:")
+    assert "func first:" in text
+    assert "func second:" in text
+    assert "freq 7" in text
+
+
+def test_rendering_is_indented_consistently():
+    program = compile_minif(SOURCE)
+    text = format_program(program)
+    for line in text.splitlines():
+        if line.strip().startswith(("load", "store", "fadd", "fmul", "li")):
+            assert line.startswith("        "), line  # 2 + 2 + 4 spaces

@@ -1,0 +1,129 @@
+"""Tests for the execution tracer (validated against the simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BalancedScheduler, TraditionalScheduler
+from repro.ir import MemRef, Opcode, RegClass, VirtualReg, alu, load, nop
+from repro.machine import LEN_8, MAX_8, NetworkMemory, UNLIMITED, superscalar
+from repro.simulate import simulate_block
+from repro.simulate.trace import StallReason, trace_block, trace_with_memory
+from repro.workloads import figure1_block, load_program, random_block
+
+A = MemRef(region="A", base=None, offset=0, affine_coeff=0)
+
+
+def load_use(gap=0):
+    block = [load(VirtualReg(0, RegClass.FP), A)]
+    for k in range(gap):
+        block.append(alu(Opcode.ADD, VirtualReg(100 + k), ()))
+    block.append(
+        alu(Opcode.FADD, VirtualReg(1, RegClass.FP), (VirtualReg(0, RegClass.FP),))
+    )
+    return block
+
+
+class TestTraceAccounting:
+    def test_matches_simulator_on_simple_block(self):
+        block = load_use(2)
+        for latency in (1, 3, 7):
+            sim = simulate_block(block, [latency])
+            trace = trace_block(block, [latency])
+            assert trace.cycles == sim.cycles
+            assert trace.interlock_cycles == sim.interlock_cycles
+
+    def test_matches_simulator_on_random_blocks(self, rng):
+        for _ in range(20):
+            block = random_block(rng, n_instructions=25)
+            n_loads = sum(1 for i in block if i.is_load)
+            latencies = NetworkMemory(5, 5).sample_many(rng, n_loads)
+            for processor in (UNLIMITED, MAX_8, LEN_8):
+                sim = simulate_block(block.instructions, latencies, processor)
+                trace = trace_block(block.instructions, latencies, processor)
+                assert trace.cycles == sim.cycles
+                assert trace.interlock_cycles == sim.interlock_cycles
+
+    def test_matches_simulator_on_suite_schedules(self, rng):
+        program = load_program("MDG")
+        compiled = BalancedScheduler()
+        for function in program:
+            block = compiled.schedule_block(function.blocks[0]).block
+            n_loads = sum(1 for i in block if i.is_load)
+            latencies = NetworkMemory(30, 5).sample_many(rng, n_loads)
+            sim = simulate_block(block.instructions, latencies, UNLIMITED)
+            trace = trace_block(block.instructions, latencies, UNLIMITED)
+            assert trace.cycles == sim.cycles
+            assert trace.interlock_cycles == sim.interlock_cycles
+
+
+class TestStallAttribution:
+    def test_operand_stall_names_register(self):
+        trace = trace_block(load_use(0), [6])
+        consumer = trace.entries[-1]
+        assert consumer.stall == 5
+        assert consumer.reason is StallReason.OPERAND
+        assert consumer.waited_on == VirtualReg(0, RegClass.FP)
+
+    def test_no_stall_no_reason(self):
+        trace = trace_block(load_use(4), [3])
+        assert all(e.reason is StallReason.NONE for e in trace.entries)
+
+    def test_load_slot_stall_flagged(self):
+        block = [
+            load(VirtualReg(k, RegClass.FP), A.displaced(k)) for k in range(9)
+        ]
+        trace = trace_block(block, [50] * 9, MAX_8)
+        ninth = trace.entries[8]
+        assert ninth.reason is StallReason.LOAD_SLOTS
+        assert ninth.stall > 0
+
+    def test_freeze_stall_flagged(self):
+        block = [load(VirtualReg(0, RegClass.FP), A)]
+        for k in range(10):
+            block.append(alu(Opcode.ADD, VirtualReg(100 + k), ()))
+        trace = trace_block(block, [12], LEN_8)
+        frozen = [e for e in trace.entries if e.reason is StallReason.FREEZE]
+        assert frozen
+        assert sum(e.stall for e in frozen) == 4
+
+    def test_stalls_by_reason_totals(self):
+        trace = trace_block(load_use(0), [6])
+        by_reason = trace.stalls_by_reason()
+        assert by_reason == {StallReason.OPERAND: 5}
+        assert sum(by_reason.values()) == trace.interlock_cycles
+
+    def test_hottest_returns_biggest_stalls(self, figure1):
+        block, _ = figure1
+        scheduled = TraditionalScheduler(5).schedule_block(block).block
+        trace = trace_block(scheduled.instructions, [8, 8])
+        hottest = trace.hottest(1)
+        assert hottest[0].stall == max(e.stall for e in trace.entries)
+
+
+class TestRendering:
+    def test_render_has_one_row_per_instruction(self):
+        block = load_use(2)
+        trace = trace_block(block, [4])
+        rendered = trace.render()
+        assert rendered.count("\n") == len(block)
+        assert "I" in rendered
+
+    def test_render_empty(self):
+        assert "empty" in trace_block([], []).render()
+
+    def test_nops_excluded(self):
+        block = load_use(1)
+        block.insert(1, nop())
+        trace = trace_block(block, [2])
+        assert len(trace.entries) == len(block) - 1
+
+
+class TestGuards:
+    def test_superscalar_rejected(self):
+        with pytest.raises(ValueError, match="single-issue"):
+            trace_block(load_use(0), [2], superscalar(2))
+
+    def test_trace_with_memory(self, rng, figure1):
+        block, _ = figure1
+        trace = trace_with_memory(block, UNLIMITED, NetworkMemory(3, 2), rng)
+        assert trace.cycles >= len(block)

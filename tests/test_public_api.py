@@ -1,0 +1,66 @@
+"""Public-API consistency checks across every package.
+
+Guards against the usual packaging rot: ``__all__`` naming things that
+do not exist, public modules that fail to import, and the top-level
+facade drifting from the subpackages.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.ir",
+    "repro.frontend",
+    "repro.analysis",
+    "repro.core",
+    "repro.regalloc",
+    "repro.machine",
+    "repro.simulate",
+    "repro.workloads",
+    "repro.extensions",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{name} should declare __all__"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_every_submodule_imports():
+    """Import every module in the tree (catches syntax/import errors in
+    modules no test touches directly)."""
+    failures = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(info.name)
+        except Exception as error:  # pragma: no cover - failure reporting
+            failures.append((info.name, error))
+    assert not failures, failures
+
+
+def test_top_level_facade_covers_both_schedulers():
+    assert repro.BalancedScheduler is not None
+    assert repro.TraditionalScheduler is not None
+    assert repro.__version__
+
+
+def test_no_all_duplicates():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        exported = list(getattr(module, "__all__", []))
+        assert len(exported) == len(set(exported)), f"duplicates in {name}.__all__"
