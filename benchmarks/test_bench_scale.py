@@ -1,0 +1,188 @@
+"""Throughput benchmarks for the batch simulator and parallel engine.
+
+Each test measures one leg of the PR-1 throughput layer on large
+generated workloads and records the numbers in ``BENCH_scale.json``
+(repo root) -- a machine-readable seed for the performance trajectory:
+
+* ``sample_block`` on a 512-instruction block at 30 runs, batch
+  (vectorised) versus the seed's scalar per-run loop, per processor
+  model.  The acceptance floor is 5x on the UNLIMITED model.
+* List-scheduler throughput on 512- and 2048-instruction DAGs.
+* ``balanced-sched run all --quick`` wall-clock at ``--jobs 1`` versus
+  ``--jobs 4`` (the CLI clamps to usable cores, so on a single-core
+  machine both legs are expected to tie; the JSON records the core
+  count so readers can interpret the ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_dag
+from repro.core import BalancedScheduler
+from repro.machine import LEN_8, MAX_8, UNLIMITED
+from repro.machine.config import SYSTEMS_BY_NAME
+from repro.simulate import simulate_block
+from repro.simulate.batch import simulate_block_batch
+from repro.simulate.rng import spawn
+from repro.workloads import random_block
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+BLOCK_SIZE = 512
+RUNS = 30
+SPEEDUP_FLOOR = 5.0
+
+_RECORD: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_record():
+    """Collect every test's numbers, then write BENCH_scale.json."""
+    yield _RECORD
+    _RECORD["meta"] = {
+        "block_size": BLOCK_SIZE,
+        "runs": RUNS,
+        "usable_cores": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    BENCH_PATH.write_text(json.dumps(_RECORD, indent=2, sort_keys=True) + "\n")
+    print(f"\n[written to {BENCH_PATH}]")
+
+
+def _scale_block():
+    return random_block(spawn("bench-scale"), n_instructions=BLOCK_SIZE)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize(
+    "processor", [UNLIMITED, MAX_8, LEN_8], ids=lambda p: p.name
+)
+def test_bench_batch_vs_scalar_sample(benchmark, processor):
+    """Batch simulation of 30 runs vs the seed's scalar per-run loop."""
+    block = _scale_block()
+    memory = SYSTEMS_BY_NAME["N(2,5)"]
+    n_loads = sum(1 for i in block.instructions if i.is_load)
+    latencies = memory.sample_many(
+        spawn("bench-scale-lat"), n_loads * RUNS
+    ).reshape(RUNS, n_loads)
+
+    batch = benchmark(simulate_block_batch, block.instructions, latencies, processor)
+
+    def scalar_loop():
+        for run in range(RUNS):
+            simulate_block(block.instructions, latencies[run], processor)
+
+    scalar_time = _best_of(scalar_loop)
+    batch_time = _best_of(
+        lambda: simulate_block_batch(block.instructions, latencies, processor)
+    )
+    speedup = scalar_time / batch_time
+
+    # Cross-check while we are here: the runs must agree exactly.
+    reference = simulate_block(block.instructions, latencies[0], processor)
+    assert batch.cycles[0] == reference.cycles
+
+    _RECORD[f"sample_block_512x30/{processor.name}"] = {
+        "scalar_seconds": scalar_time,
+        "batch_seconds": batch_time,
+        "speedup": round(speedup, 2),
+        "runs_per_second": round(RUNS / batch_time),
+    }
+    if processor is UNLIMITED:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"batch sample_block speedup {speedup:.1f}x is below the "
+            f"{SPEEDUP_FLOOR}x acceptance floor"
+        )
+
+
+@pytest.mark.parametrize("size", [512, 2048])
+def test_bench_schedule_large_dag(benchmark, size):
+    """Near-linear list scheduling on generated DAGs (heap ready list).
+
+    Weights are assigned once up front so this measures the scheduling
+    pass itself, not the balanced weight computation.
+    """
+    block = random_block(spawn("bench-sched", size), n_instructions=size)
+    dag = build_dag(block)
+    policy = BalancedScheduler()
+    policy.assign_weights(dag)
+    scheduler = policy._scheduler
+
+    result = benchmark(scheduler.schedule, dag, block)
+    assert len(result.order) == size
+
+    elapsed = _best_of(lambda: scheduler.schedule(dag, block), repeats=3)
+    _RECORD[f"schedule_dag/{size}"] = {
+        "seconds": elapsed,
+        "instructions_per_second": round(size / elapsed),
+    }
+
+
+def _run_all_quick(jobs: int) -> float:
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.runner",
+            "run",
+            "all",
+            "--quick",
+            "--jobs",
+            str(jobs),
+        ],
+        capture_output=True,
+        env=env,
+    )
+    elapsed = time.perf_counter() - start
+    assert proc.returncode == 0, proc.stderr.decode()[-2000:]
+    return elapsed
+
+
+def test_bench_run_all_quick_jobs():
+    """CLI wall-clock: the full --quick regeneration, serial vs parallel."""
+    serial = _run_all_quick(1)
+    parallel = _run_all_quick(4)
+    cores = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count() or 1
+    )
+    _RECORD["run_all_quick"] = {
+        "jobs_1_seconds": round(serial, 2),
+        "jobs_4_seconds": round(parallel, 2),
+        "speedup": round(serial / parallel, 2),
+        "usable_cores": cores,
+    }
+    if cores >= 2:
+        assert parallel < serial, (
+            f"--jobs 4 ({parallel:.2f}s) should beat --jobs 1 "
+            f"({serial:.2f}s) on a {cores}-core machine"
+        )
+    else:
+        # Single core: the CLI clamps --jobs to 1, so the legs must tie
+        # (no parallel-path regression), within generous noise.
+        assert parallel < serial * 1.35

@@ -43,8 +43,10 @@ processors use hardware interlocks (Section 4.1).
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from dataclasses import dataclass, field
 from fractions import Fraction
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.critical_path import priorities as compute_priorities
@@ -62,7 +64,12 @@ class Direction(enum.Enum):
 
 
 #: A tie-break key function: maps (scheduler state, node) -> sortable
-#: value; larger wins.
+#: value; larger wins.  A tie-break whose value never changes while a
+#: block is being scheduled (it reads only the DAG and the direction,
+#: not the mutable state) may set ``state_invariant = True`` on the
+#: function; the scheduler then computes it once per node instead of
+#: once per (slot, candidate).  Unmarked tie-breaks are re-evaluated
+#: every time, which is always correct.
 TieBreak = Callable[["_SchedulerState", int], Union[int, float, Fraction]]
 
 
@@ -81,6 +88,9 @@ def consumed_minus_defined(state: "_SchedulerState", node: int) -> int:
     return len(inst.all_uses()) - len(inst.defs)
 
 
+consumed_minus_defined.state_invariant = True
+
+
 def register_pressure(state: "_SchedulerState", node: int) -> int:
     """Direction-mirrored pressure tie-break (ablation variant).
 
@@ -93,6 +103,9 @@ def register_pressure(state: "_SchedulerState", node: int) -> int:
     inst = state.dag.instructions[node]
     delta = len(inst.all_uses()) - len(inst.defs)
     return delta if state.direction is Direction.TOP_DOWN else -delta
+
+
+register_pressure.state_invariant = True
 
 
 def exposed_count(state: "_SchedulerState", node: int) -> int:
@@ -123,6 +136,9 @@ def original_order(state: "_SchedulerState", node: int) -> int:
     """
     ident = state.dag.instructions[node].ident
     return -ident if state.direction is Direction.TOP_DOWN else ident
+
+
+original_order.state_invariant = True
 
 
 DEFAULT_TIE_BREAKS: Tuple[TieBreak, ...] = (
@@ -206,51 +222,96 @@ class ListScheduler:
     def schedule(
         self, dag: CodeDAG, block: Optional[BasicBlock] = None
     ) -> ScheduleResult:
-        """Schedule ``dag``; if ``block`` given, also emit the reordered block."""
+        """Schedule ``dag``; if ``block`` given, also emit the reordered block.
+
+        Hot-path layout: exposed-but-not-yet-ready nodes wait in a heap
+        keyed by ready time; ready nodes live in a list kept in global
+        discovery order (the order the old linear scan of ``available``
+        produced), so selection still walks candidates earliest-first
+        and all tie-break semantics -- including insertion-order wins on
+        exact key ties -- are preserved byte-for-byte.  Priorities are
+        compared through dense integer ranks instead of ``Fraction``
+        arithmetic, and ``state_invariant`` tie-break values are cached
+        per node, so a slot costs one integer scan of the ready list
+        plus tie-break evaluation only among the priority co-leaders.
+        """
         n = len(dag)
         node_priorities = compute_priorities(dag)
         state = _SchedulerState(dag, self.direction)
 
-        available: List[int] = []
+        # Priorities never change mid-run: map each distinct Fraction
+        # to its dense sort rank once, then select on int comparisons.
+        distinct = sorted(set(node_priorities))
+        rank_of = {p: i for i, p in enumerate(distinct)}
+        prio_rank = [rank_of[p] for p in node_priorities]
+
+        tie_breaks = self.tie_breaks
+        static_vals: List[Optional[List]] = [
+            [tb(state, v) for v in range(n)]
+            if getattr(tb, "state_invariant", False)
+            else None
+            for tb in tie_breaks
+        ]
+
+        zero = Fraction(0)
+        # ``pending`` holds exposed nodes whose ready time is still in
+        # the future: (ready_time, seq, node).  ``ready`` holds nodes
+        # eligible now, as (seq, node) sorted by seq -- the global
+        # discovery order, identical to the old ``available`` scan.
+        pending: List[Tuple[Fraction, int, int]] = []
+        ready: List[Tuple[int, int]] = []
+        seq = 0
         for v in dag.nodes():
             if state.unscheduled_neighbors[v] == 0:
-                state.ready_time[v] = Fraction(0)
-                available.append(v)
+                state.ready_time[v] = zero
+                ready.append((seq, v))
+                seq += 1
 
-        time = Fraction(0)
-        noop_span = Fraction(0)
+        time = zero
+        noop_span = zero
         placement: List[int] = []
+        bottom_up = self.direction is Direction.BOTTOM_UP
 
         while len(placement) < n:
-            ready = [v for v in available if state.ready_time[v] <= time]
+            while pending and pending[0][0] <= time:
+                _, s, v = heappop(pending)
+                insort(ready, (s, v))
             if not ready:
                 # Starvation: virtual no-ops fill the gap to the next
                 # pending ready time.
-                next_time = min(state.ready_time[v] for v in available)
+                next_time = pending[0][0]
                 noop_span += next_time - time
                 time = next_time
                 continue
 
-            chosen = self._select(state, ready, node_priorities)
-            available.remove(chosen)
+            idx = self._select_index(
+                state, ready, prio_rank, static_vals, tie_breaks
+            )
+            chosen = ready.pop(idx)[1]
             state.slot[chosen] = time
             placement.append(chosen)
             time += 1
 
             neighbors = (
                 dag.predecessors(chosen)
-                if self.direction is Direction.BOTTOM_UP
+                if bottom_up
                 else dag.successors(chosen)
             )
+            unscheduled = state.unscheduled_neighbors
             for neighbor in neighbors:
-                state.unscheduled_neighbors[neighbor] -= 1
-                if state.unscheduled_neighbors[neighbor] == 0:
-                    state.ready_time[neighbor] = state.compute_ready_time(neighbor)
-                    available.append(neighbor)
+                unscheduled[neighbor] -= 1
+                if unscheduled[neighbor] == 0:
+                    rt = state.compute_ready_time(neighbor)
+                    state.ready_time[neighbor] = rt
+                    if rt <= time:
+                        insort(ready, (seq, neighbor))
+                    else:
+                        heappush(pending, (rt, seq, neighbor))
+                    seq += 1
 
         order = (
             list(reversed(placement))
-            if self.direction is Direction.BOTTOM_UP
+            if bottom_up
             else placement
         )
         scheduled_block = self._emit(dag, order, block)
@@ -263,13 +324,54 @@ class ListScheduler:
         )
 
     # ------------------------------------------------------------------
+    def _select_index(
+        self,
+        state: _SchedulerState,
+        ready: List[Tuple[int, int]],
+        prio_rank: List[int],
+        static_vals: List[Optional[List]],
+        tie_breaks: Tuple[TieBreak, ...],
+    ) -> int:
+        """Index into ``ready`` of the winner: max priority, then the
+        tie-breaks, earliest discovery on exact ties."""
+        best_i = 0
+        best_r = prio_rank[ready[0][1]]
+        tied: Optional[List[Tuple[int, int]]] = None
+        for i in range(1, len(ready)):
+            node = ready[i][1]
+            r = prio_rank[node]
+            if r > best_r:
+                best_i, best_r = i, r
+                tied = None
+            elif r == best_r:
+                if tied is None:
+                    tied = [(best_i, ready[best_i][1])]
+                tied.append((i, node))
+        if tied is None or not tie_breaks:
+            return tied[0][0] if tied else best_i
+
+        def key(node: int) -> Tuple:
+            return tuple(
+                vals[node] if vals is not None else tb(state, node)
+                for tb, vals in zip(tie_breaks, static_vals)
+            )
+
+        best_i, best_node = tied[0]
+        best_key = key(best_node)
+        for i, node in tied[1:]:
+            k = key(node)
+            if k > best_key:
+                best_i, best_key = i, k
+        return best_i
+
     def _select(
         self,
         state: _SchedulerState,
         ready: List[int],
         node_priorities: List[Weight],
     ) -> int:
-        """Pick from the ready list: max priority, then the tie-breaks."""
+        """Pick from a plain ready list (reference path, kept for
+        equivalence testing against :meth:`_select_index`)."""
         best = ready[0]
         best_key = self._key(state, best, node_priorities)
         for candidate in ready[1:]:

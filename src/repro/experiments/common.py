@@ -9,17 +9,24 @@ reported across Tables 2-5.
 
 Compilation is machine-independent for the balanced scheduler and
 depends only on the optimistic latency for the traditional scheduler,
-so :class:`ProgramEvaluator` caches compiled artefacts and reuses them
-across the (many) rows of a table.
+so compiled artefacts are memoised in a process-wide
+:class:`CompilationCache`: each (program, policy, latency, register
+file, alias model) combination compiles exactly once per process, no
+matter how many tables or :class:`ProgramEvaluator` instances ask.
+
+Cells are independent by construction -- every random stream is derived
+from string keys via :func:`repro.simulate.rng.spawn`, never from
+shared mutable generator state -- so :func:`evaluate_cells` can fan a
+list of :class:`CellSpec` out over a ``concurrent.futures`` process
+pool and return bit-identical results in spec order regardless of
+worker count or completion order (see docs/performance.md).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.alias import AliasModel
 from ..core.balanced import BalancedScheduler
@@ -37,6 +44,46 @@ from ..simulate.stats import (
     percentage_improvement,
     program_bootstrap_runtimes,
 )
+from ..workloads.perfect import load_program
+
+
+class CompilationCache:
+    """Process-wide memo of :func:`compile_program` results.
+
+    Keys are ``(program identity, policy key, register file, alias
+    model)``; the cache keeps a strong reference to each keyed program
+    so object identities stay valid for the life of the process (the
+    Perfect Club suite is itself cached for the process lifetime, so
+    this adds nothing for the standard tables).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, CompilationResult] = {}
+        self._programs: Dict[int, Program] = {}
+
+    def get_or_compile(
+        self,
+        program: Program,
+        policy_key: tuple,
+        factory: Callable[[], CompilationResult],
+    ) -> CompilationResult:
+        key = (id(program),) + policy_key
+        result = self._entries.get(key)
+        if result is None:
+            result = self._entries[key] = factory()
+            self._programs[id(program)] = program
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._programs.clear()
+
+
+#: The shared cache every :class:`ProgramEvaluator` compiles through.
+COMPILATION_CACHE = CompilationCache()
 
 
 @dataclass
@@ -77,34 +124,38 @@ class ProgramEvaluator:
         self.seed = seed
         self.runs = runs
         self.n_boot = n_boot
-        self._balanced: Optional[CompilationResult] = None
-        self._traditional: Dict[Fraction, CompilationResult] = {}
 
     # ------------------------------------------------------------------
-    # Compilation caches
+    # Compilation (memoised process-wide in COMPILATION_CACHE)
     # ------------------------------------------------------------------
     def balanced(self) -> CompilationResult:
-        """The balanced compilation (machine-independent; computed once)."""
-        if self._balanced is None:
-            self._balanced = compile_program(
+        """The balanced compilation (machine-independent; compiled once)."""
+        return COMPILATION_CACHE.get_or_compile(
+            self.program,
+            ("balanced", self.register_file, self.alias_model),
+            lambda: compile_program(
                 self.program,
                 BalancedScheduler(),
                 register_file=self.register_file,
                 alias_model=self.alias_model,
-            )
-        return self._balanced
+            ),
+        )
 
     def traditional(self, optimistic_latency: float) -> CompilationResult:
         """The traditional compilation for one optimistic latency."""
-        key = TraditionalScheduler(optimistic_latency).optimistic_latency
-        if key not in self._traditional:
-            self._traditional[key] = compile_program(
+        # Normalise through the scheduler so 2 and 2.0 share a key but
+        # 2.15 and 2.4 stay exactly distinct (Fraction, not float).
+        latency_key = TraditionalScheduler(optimistic_latency).optimistic_latency
+        return COMPILATION_CACHE.get_or_compile(
+            self.program,
+            ("traditional", latency_key, self.register_file, self.alias_model),
+            lambda: compile_program(
                 self.program,
                 TraditionalScheduler(optimistic_latency),
                 register_file=self.register_file,
                 alias_model=self.alias_model,
-            )
-        return self._traditional[key]
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Simulation
@@ -173,3 +224,156 @@ class ProgramEvaluator:
 def geometric_layout(values: Sequence[float], width: int = 6) -> str:
     """Small helper: format a row of numbers for the console tables."""
     return " ".join(f"{v:{width}.1f}" for v in values)
+
+
+# ----------------------------------------------------------------------
+# Parallel cell evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSpec:
+    """One table cell as a picklable work item.
+
+    The program is referenced by suite name (workers reload it from the
+    process-local cache) and everything else is a frozen value object,
+    so a spec can cross a process boundary and still evaluate to the
+    exact cell the serial path would produce.
+    """
+
+    program: str
+    system: SystemRow
+    processor: ProcessorModel = UNLIMITED
+    seed: int = DEFAULT_SEED
+    runs: int = DEFAULT_RUNS
+    n_boot: int = DEFAULT_BOOTSTRAP
+    register_file: Optional[RegisterFile] = DEFAULT_REGISTER_FILE
+    alias_model: AliasModel = AliasModel.FORTRAN
+
+
+#: Per-process evaluators, keyed by everything but (system, processor):
+#: a worker handed many cells of one program reuses one evaluator (and,
+#: through COMPILATION_CACHE, every compilation it has already done).
+_EVALUATORS: Dict[tuple, ProgramEvaluator] = {}
+
+
+def _evaluate_cell(spec: CellSpec) -> CellResult:
+    """Worker entry point: evaluate one cell in this process."""
+    key = (
+        spec.program,
+        spec.seed,
+        spec.runs,
+        spec.n_boot,
+        spec.register_file,
+        spec.alias_model,
+    )
+    evaluator = _EVALUATORS.get(key)
+    if evaluator is None:
+        evaluator = _EVALUATORS[key] = ProgramEvaluator(
+            load_program(spec.program),
+            register_file=spec.register_file,
+            alias_model=spec.alias_model,
+            seed=spec.seed,
+            runs=spec.runs,
+            n_boot=spec.n_boot,
+        )
+    return evaluator.cell(spec.system, spec.processor)
+
+
+def _evaluate_group(specs: Sequence[CellSpec]) -> List[CellResult]:
+    """Worker entry point: evaluate one compile-sharing group of cells."""
+    return [_evaluate_cell(spec) for spec in specs]
+
+
+#: Lazily created, reused across evaluate_cells calls (so `run all`
+#: forks once and the workers' compilation caches persist from one
+#: table to the next -- the compile cost is paid once per process, not
+#: once per table).
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS = 0
+
+
+def _pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS != jobs:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def pool_map(fn: Callable, items: Sequence, jobs: int = 1) -> List:
+    """Map a picklable function over items through the shared pool.
+
+    Order-preserving.  ``jobs == 1`` (or a single item) runs inline;
+    otherwise the persistent experiment pool is used, so repeated calls
+    within one process reuse warm workers (and their compilation
+    caches).  If the pool breaks, it is discarded so the next call
+    starts fresh.
+    """
+    global _POOL
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        return list(_pool(jobs).map(fn, items))
+    except Exception:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+            _POOL = None
+        raise
+
+
+def evaluate_cells(
+    specs: Sequence[CellSpec], jobs: int = 1
+) -> List[CellResult]:
+    """Evaluate cells, optionally fanned out over a process pool.
+
+    Results come back in spec order.  Every random stream a cell uses
+    is derived from string keys (program, memory, latency, processor,
+    policy) plus the seed -- never from shared generator state -- so
+    the output is bit-identical for any ``jobs``; parallelism only
+    changes wall-clock time.
+
+    The unit of distribution is a *compile-sharing group*: all cells
+    with the same (program, optimistic latency, compile settings) need
+    exactly the same two compilations, so keeping a group in one worker
+    means no traditional compilation ever runs twice anywhere (the
+    cheap balanced compilation is duplicated at most once per worker
+    per program).  Groups are then packed into a few cell-balanced
+    batches -- enough for load balancing, few enough that task
+    round-trips stay off the critical path.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(specs) <= 1:
+        return [_evaluate_cell(spec) for spec in specs]
+    groups: Dict[tuple, List[int]] = {}
+    for index, spec in enumerate(specs):
+        key = (
+            spec.program,
+            spec.system.optimistic_latency,
+            spec.seed,
+            spec.runs,
+            spec.n_boot,
+            spec.register_file,
+            spec.alias_model,
+        )
+        groups.setdefault(key, []).append(index)
+    per_batch = max(1, -(-len(specs) // (jobs * 4)))
+    batches: List[List[int]] = []
+    current: List[int] = []
+    for indices in groups.values():
+        current.extend(indices)
+        if len(current) >= per_batch:
+            batches.append(current)
+            current = []
+    if current:
+        batches.append(current)
+    tasks = [[specs[i] for i in batch] for batch in batches]
+    out: List[Optional[CellResult]] = [None] * len(specs)
+    for batch, cells in zip(batches, pool_map(_evaluate_group, tasks, jobs)):
+        for index, cell in zip(batch, cells):
+            out[index] = cell
+    return out

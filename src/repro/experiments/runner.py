@@ -30,6 +30,7 @@ per block; the paper uses 30), ``--quick`` (3 runs).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -60,7 +61,7 @@ EXPERIMENTS: List[str] = [
 _EXPORTABLE = {"figure3", "table1", "table2", "table3", "table4", "table5"}
 
 
-def _dispatch(name: str, seed: int, runs: int):
+def _dispatch(name: str, seed: int, runs: int, jobs: int = 1):
     if name == "figure2":
         return run_figure2()
     if name == "figure3":
@@ -68,33 +69,59 @@ def _dispatch(name: str, seed: int, runs: int):
     if name == "table1":
         return run_table1()
     if name == "table2":
-        return run_table2(seed=seed, runs=runs)
+        return run_table2(seed=seed, runs=runs, jobs=jobs)
     if name == "table3":
-        return run_table3(seed=seed, runs=runs)
+        return run_table3(seed=seed, runs=runs, jobs=jobs)
     if name == "table4":
-        return run_table4(seed=seed)
+        return run_table4(seed=seed, jobs=jobs)
     if name == "table5":
-        return run_table5(seed=seed, runs=runs)
+        return run_table5(seed=seed, runs=runs, jobs=jobs)
     if name == "ablations":
-        return run_all_ablations()
+        return run_all_ablations(jobs=jobs)
     raise KeyError(name)
 
 
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runs = 3 if args.quick else args.runs
+    jobs = args.jobs
+    cores = _usable_cores()
+    if jobs > cores:
+        # Worker processes timeshare cores; oversubscribing a small
+        # machine only adds fork/pickle overhead.  Results do not
+        # depend on the worker count, so clamping is safe.
+        print(
+            f"  [--jobs {jobs} clamped to {cores} usable core(s)]",
+            file=sys.stderr,
+        )
+        jobs = cores
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    timings = []
     for name in names:
         start = time.time()
-        result = _dispatch(name, args.seed, runs)
+        result = _dispatch(name, args.seed, runs, jobs)
         elapsed = time.time() - start
+        timings.append((name, elapsed))
         if args.format != "text" and name in _EXPORTABLE:
             print(export(result, args.format))
         else:
             print(result.format())
         print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
+    if len(names) > 1:
+        total = sum(elapsed for _, elapsed in timings)
+        print(f"  timing summary (--jobs {jobs}):")
+        for name, elapsed in timings:
+            print(f"    {name:10s} {elapsed:6.1f}s")
+        print(f"    {'total':10s} {total:6.1f}s")
     return 0
 
 
@@ -201,6 +228,17 @@ def _processor_for(args: argparse.Namespace):
 
 
 # ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    """argparse type for options that must be >= 1 (--runs, --jobs)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="balanced-sched",
@@ -214,8 +252,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="regenerate a table or figure")
     run.add_argument("experiment", choices=EXPERIMENTS + ["all"])
     run.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    run.add_argument("--runs", type=int, default=30)
+    run.add_argument("--runs", type=_positive_int, default=30)
     run.add_argument("--quick", action="store_true", help="3-run smoke pass")
+    run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the table experiments (results are "
+        "bit-identical for any value)",
+    )
     run.add_argument(
         "--format", choices=["text", "csv", "markdown"], default="text"
     )

@@ -22,8 +22,8 @@ from typing import Dict, List, Optional
 from ..machine.config import SystemRow, paper_system_rows
 from ..machine.processor import ProcessorModel, UNLIMITED
 from ..simulate.rng import DEFAULT_SEED
-from ..workloads.perfect import load_suite, program_names
-from .common import CellResult, ProgramEvaluator
+from ..workloads.perfect import program_names
+from .common import CellResult, CellSpec, evaluate_cells
 
 #: Row means of the paper's Table 2 (for side-by-side reporting).
 PAPER_TABLE2_MEANS: Dict[str, float] = {
@@ -133,18 +133,35 @@ def run_table2(
     seed: int = DEFAULT_SEED,
     runs: int = 30,
     programs: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> Table2Result:
-    """Evaluate the full Table 2 grid (or a subset of programs)."""
+    """Evaluate the full Table 2 grid (or a subset of programs).
+
+    ``jobs`` fans the cells out over a process pool; results are
+    bit-identical for any value (all random streams are string-keyed).
+    """
     names = programs if programs is not None else program_names()
-    suite = load_suite()
-    evaluators = {
-        name: ProgramEvaluator(suite[name], seed=seed, runs=runs)
+    systems = paper_system_rows()
+    # Program-major order: workers see long runs of one program, so
+    # each compiles it (at most) once.
+    specs = [
+        CellSpec(
+            program=name, system=system, processor=processor,
+            seed=seed, runs=runs,
+        )
         for name in names
+        for system in systems
+    ]
+    results = evaluate_cells(specs, jobs=jobs)
+    by_key = {
+        (spec.program, spec.system.label): cell
+        for spec, cell in zip(specs, results)
     }
-    rows = []
-    for system in paper_system_rows():
-        cells = {
-            name: evaluators[name].cell(system, processor) for name in names
-        }
-        rows.append(Table2Row(system=system, cells=cells))
+    rows = [
+        Table2Row(
+            system=system,
+            cells={name: by_key[(name, system.label)] for name in names},
+        )
+        for system in systems
+    ]
     return Table2Result(rows=rows, processor=processor)

@@ -22,8 +22,7 @@ from typing import Dict, List, Tuple
 from ..machine.config import SystemRow, paper_system_rows
 from ..machine.processor import LEN_8, MAX_8, PAPER_PROCESSORS, ProcessorModel, UNLIMITED
 from ..simulate.rng import DEFAULT_SEED
-from ..workloads.perfect import load_program
-from .common import CellResult, ProgramEvaluator
+from .common import CellResult, CellSpec, evaluate_cells
 
 DEFAULT_PROGRAM = "MDG"
 
@@ -103,17 +102,24 @@ def run_table3(
     program: str = DEFAULT_PROGRAM,
     seed: int = DEFAULT_SEED,
     runs: int = 30,
+    jobs: int = 1,
 ) -> Table3Result:
     """Evaluate the detail table for one program (MDG by default)."""
-    evaluator = ProgramEvaluator(load_program(program), seed=seed, runs=runs)
-    cells: Dict[Tuple[str, str], CellResult] = {}
-    for system in paper_system_rows():
-        for processor in PAPER_PROCESSORS:
-            cells[(system.label, processor.name)] = evaluator.cell(
-                system, processor
-            )
+    specs = [
+        CellSpec(
+            program=program, system=system, processor=processor,
+            seed=seed, runs=runs,
+        )
+        for system in paper_system_rows()
+        for processor in PAPER_PROCESSORS
+    ]
+    results = evaluate_cells(specs, jobs=jobs)
+    cells: Dict[Tuple[str, str], CellResult] = {
+        (spec.system.label, spec.processor.name): cell
+        for spec, cell in zip(specs, results)
+    }
     return Table3Result(
         program=program,
         cells=cells,
-        balanced_instructions=evaluator.balanced().dynamic_instructions,
+        balanced_instructions=results[0].balanced_instructions,
     )

@@ -24,8 +24,8 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..simulate.rng import DEFAULT_SEED
-from ..workloads.perfect import load_suite, program_names
-from .common import ProgramEvaluator
+from ..workloads.perfect import load_program, program_names
+from .common import ProgramEvaluator, pool_map
 
 #: The paper's Table 4 column set.
 OPTIMISTIC_LATENCIES = (2, 2.15, 2.4, 2.6, 3, 3.6, 5, 7.6, 30)
@@ -88,23 +88,24 @@ class Table4Result:
         return "\n".join(lines)
 
 
-def run_table4(seed: int = DEFAULT_SEED) -> Table4Result:
+def _spill_row(task) -> Table4Row:
+    """Worker entry point: all compilations for one program's row."""
+    name, seed = task
+    evaluator = ProgramEvaluator(load_program(name), seed=seed)
+    balanced = evaluator.balanced()
+    traditional = {
+        float(lat): evaluator.traditional(lat).spill_percentage
+        for lat in OPTIMISTIC_LATENCIES
+    }
+    return Table4Row(
+        program=name,
+        dynamic_instructions=balanced.dynamic_instructions,
+        balanced=balanced.spill_percentage,
+        traditional=traditional,
+    )
+
+
+def run_table4(seed: int = DEFAULT_SEED, jobs: int = 1) -> Table4Result:
     """Compile every program under every policy and count spills."""
-    suite = load_suite()
-    rows = []
-    for name in program_names():
-        evaluator = ProgramEvaluator(suite[name], seed=seed)
-        balanced = evaluator.balanced()
-        traditional = {
-            float(lat): evaluator.traditional(lat).spill_percentage
-            for lat in OPTIMISTIC_LATENCIES
-        }
-        rows.append(
-            Table4Row(
-                program=name,
-                dynamic_instructions=balanced.dynamic_instructions,
-                balanced=balanced.spill_percentage,
-                traditional=traditional,
-            )
-        )
-    return Table4Result(rows=rows)
+    tasks = [(name, seed) for name in program_names()]
+    return Table4Result(rows=pool_map(_spill_row, tasks, jobs))

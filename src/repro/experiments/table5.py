@@ -18,8 +18,8 @@ from typing import Dict, List, Tuple
 from ..machine.config import system_row
 from ..machine.processor import PAPER_PROCESSORS, ProcessorModel
 from ..simulate.rng import DEFAULT_SEED
-from ..workloads.perfect import load_suite, program_names
-from .common import CellResult, ProgramEvaluator
+from ..workloads.perfect import program_names
+from .common import CellResult, CellSpec, evaluate_cells
 
 N30_LABEL = "N(30,5)"
 N30_LATENCY = 30
@@ -81,13 +81,22 @@ class Table5Result:
         return "\n".join(lines)
 
 
-def run_table5(seed: int = DEFAULT_SEED, runs: int = 30) -> Table5Result:
+def run_table5(
+    seed: int = DEFAULT_SEED, runs: int = 30, jobs: int = 1
+) -> Table5Result:
     """Evaluate N(30,5) for every program and processor model."""
-    suite = load_suite()
     row = system_row(N30_LABEL, N30_LATENCY)
-    cells: Dict[Tuple[str, str], CellResult] = {}
-    for name in program_names():
-        evaluator = ProgramEvaluator(suite[name], seed=seed, runs=runs)
-        for processor in PAPER_PROCESSORS:
-            cells[(name, processor.name)] = evaluator.cell(row, processor)
+    specs = [
+        CellSpec(
+            program=name, system=row, processor=processor,
+            seed=seed, runs=runs,
+        )
+        for name in program_names()
+        for processor in PAPER_PROCESSORS
+    ]
+    results = evaluate_cells(specs, jobs=jobs)
+    cells: Dict[Tuple[str, str], CellResult] = {
+        (spec.program, spec.processor.name): cell
+        for spec, cell in zip(specs, results)
+    }
     return Table5Result(cells=cells)

@@ -1,0 +1,282 @@
+"""Run-axis-vectorised basic-block simulation.
+
+:func:`simulate_block_batch` reproduces :func:`~repro.simulate.simulator.
+simulate_block` exactly, but executes all ``runs`` Monte-Carlo
+repetitions of a block at once: every piece of per-run machine state
+(``next_free``, per-register ready times, interlock counters, MAX-n
+outstanding-load bookkeeping, LEN-n freeze windows) becomes a numpy
+array of shape ``(runs,)``, and each instruction step is a handful of
+vector operations instead of a Python-level pass per run.
+
+Supported directly (vectorised):
+
+* single-issue, non-blocking loads (UNLIMITED);
+* single-issue, blocking loads (the BLOCKING baseline);
+* ``max_outstanding_loads`` (MAX-n), via a per-run top-``n`` heap of
+  outstanding completion times -- a load may not issue before the
+  ``n``-th largest completion among previously issued loads;
+* ``max_load_cycles`` (LEN-n), via :class:`_WindowBuffer` (see below).
+
+Scalar fallback (documented in docs/performance.md): ``issue_width > 1``
+(the Section 6 superscalar extension) falls back to the per-run scalar
+simulator; its slot-packing state does not vectorise cleanly and it is
+not used by the paper's main experiments.
+
+Equivalence with the scalar simulator is enforced by the property test
+``tests/simulate/test_batch_equivalence.py`` across all processor
+models and memory families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..ir.instructions import Instruction, Opcode
+from ..machine.processor import ProcessorModel, UNLIMITED
+from .simulator import LatencyOverrunError, simulate_block
+
+
+@dataclass(frozen=True)
+class BatchSimResult:
+    """Per-run cycle accounting for ``runs`` executions of one block."""
+
+    cycles: np.ndarray       # shape (runs,), int64
+    instructions: int        # identical across runs (NOPs are static)
+    interlocks: np.ndarray   # shape (runs,), int64
+
+
+class _WindowBuffer:
+    """LEN-n freeze windows, vectorised across runs.
+
+    Windows are kept as row-stacked ``(n_windows, runs)`` arrays in
+    issue order (their per-run start times are monotone in issue order
+    because issue times strictly increase on a single-issue machine),
+    with ``end = 0`` marking runs where a load did not exceed the
+    limit.  The common case -- no run is inside any window -- is one
+    vectorised membership test; when a window does bind, a single
+    forward pass in issue order reaches the scalar simulator's fixed
+    point: once a window has pushed ``t`` past its end, only windows
+    with *later* starts can still contain ``t``, and those are visited
+    afterwards.
+    """
+
+    __slots__ = ("starts", "ends", "max_end")
+
+    def __init__(self) -> None:
+        self.starts: Optional[np.ndarray] = None  # (n_windows, runs)
+        self.ends: Optional[np.ndarray] = None
+        self.max_end = 0
+
+    def push(
+        self,
+        start: np.ndarray,
+        end: np.ndarray,
+        mask: np.ndarray,
+        t: np.ndarray,
+    ) -> None:
+        zero = np.int64(0)
+        row_s = np.where(mask, start, zero)
+        row_e = np.where(mask, end, zero)
+        peak = int(row_e.max())
+        if self.starts is not None:
+            # Overlapping freeze windows behave exactly like their
+            # union (pushing past the first lands inside the second),
+            # so absorb the new window into the newest row wherever
+            # they overlap.  This keeps the buffer at ~1 row when long
+            # loads issue back to back.
+            last_end = self.ends[-1]
+            overlap = mask & (row_s <= last_end)
+            if overlap.any():
+                np.maximum(
+                    last_end, np.where(overlap, row_e, zero), out=last_end
+                )
+                remaining = mask & ~overlap
+                if not remaining.any():
+                    self.max_end = max(self.max_end, peak)
+                    return
+                row_s = np.where(remaining, start, zero)
+                row_e = np.where(remaining, end, zero)
+            if self.starts.shape[0] > 2:
+                # May reset ``max_end``; the new row's peak is folded
+                # back in below, after the append.
+                self._prune(t)
+        if self.starts is None:
+            self.starts = row_s[None, :]
+            self.ends = row_e[None, :]
+        else:
+            self.starts = np.concatenate((self.starts, row_s[None, :]))
+            self.ends = np.concatenate((self.ends, row_e[None, :]))
+        self.max_end = max(self.max_end, peak)
+
+    def apply(self, t: np.ndarray) -> np.ndarray:
+        if self.starts is None:
+            return t
+        if int(t.min()) >= self.max_end:
+            # Every window has finished in every run; issue times only
+            # grow, so none of them can ever trigger again.
+            self.starts = self.ends = None
+            self.max_end = 0
+            return t
+        n_rows = self.starts.shape[0]
+        hit = (self.starts <= t) & (t < self.ends)
+        if hit.any():
+            if n_rows == 1:
+                t = np.where(hit[0], self.ends[0], t)
+            else:
+                # Cascade: a push may land ``t`` inside a later window.
+                for j in range(n_rows):
+                    row_hit = (self.starts[j] <= t) & (t < self.ends[j])
+                    if row_hit.any():
+                        t = np.where(row_hit, self.ends[j], t)
+            self._prune(t)
+        return t
+
+    def _prune(self, t: np.ndarray) -> None:
+        """Drop windows finished in every run (they can never trigger
+        again: per-run issue times are strictly increasing)."""
+        keep = (self.ends > t).any(axis=1)
+        if keep.all():
+            return
+        if not keep.any():
+            self.starts = self.ends = None
+            self.max_end = 0
+        else:
+            self.starts = self.starts[keep]
+            self.ends = self.ends[keep]
+
+
+def simulate_block_batch(
+    instructions: Sequence[Instruction],
+    latencies: np.ndarray,
+    processor: ProcessorModel = UNLIMITED,
+) -> BatchSimResult:
+    """Simulate ``runs`` executions of a straight-line sequence at once.
+
+    ``latencies`` has shape ``(runs, n_loads)``: row ``r`` holds the
+    sampled latency of each load, in program order, for run ``r`` --
+    exactly the per-run argument of the scalar ``simulate_block``.
+    """
+    latencies = np.asarray(latencies, dtype=np.int64)
+    if latencies.ndim != 2:
+        raise ValueError(
+            f"latencies must have shape (runs, n_loads), got {latencies.shape}"
+        )
+    if processor.issue_width > 1:
+        return _scalar_fallback(instructions, latencies, processor)
+
+    executed = [i for i in instructions if i.opcode is not Opcode.NOP]
+    n_loads = sum(1 for i in executed if i.is_load)
+    runs = latencies.shape[0]
+    if latencies.shape[1] < n_loads:
+        raise LatencyOverrunError(
+            f"{n_loads} loads but only {latencies.shape[1]} latencies"
+        )
+    if runs == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return BatchSimResult(empty, len(executed), empty.copy())
+
+    # Dense register indexing: reg_ready[i] is the (runs,) ready-time
+    # vector of the i-th distinct register touched by the block.
+    reg_index = {}
+    steps = []
+    for inst in executed:
+        uses = []
+        for reg in inst.all_uses():
+            idx = reg_index.get(reg)
+            if idx is None:
+                idx = reg_index[reg] = len(reg_index)
+            uses.append(idx)
+        defs = []
+        for reg in inst.defs:
+            idx = reg_index.get(reg)
+            if idx is None:
+                idx = reg_index[reg] = len(reg_index)
+            defs.append(idx)
+        steps.append((inst.is_load, tuple(uses), tuple(defs), inst.latency))
+
+    reg_ready = np.zeros((len(reg_index), runs), dtype=np.int64)
+    next_free = np.zeros(runs, dtype=np.int64)
+    interlock = np.zeros(runs, dtype=np.int64)
+
+    max_out = processor.max_outstanding_loads
+    # ``top`` holds, per run, the ``max_out`` largest completion times
+    # of loads issued so far (ascending along axis 0).  A load waits
+    # until the max_out-th largest completion: t >= top[0].
+    top = (
+        np.zeros((max_out, runs), dtype=np.int64)
+        if max_out is not None
+        else None
+    )
+    limit = processor.max_load_cycles
+    windows = _WindowBuffer() if limit is not None else None
+    blocking = processor.blocking_loads
+
+    maximum = np.maximum
+    col = 0
+    for is_load, uses, defs, static_latency in steps:
+        if uses:
+            t = maximum(next_free, reg_ready[uses[0]])
+            for u in uses[1:]:
+                maximum(t, reg_ready[u], out=t)
+        else:
+            t = next_free.copy()
+
+        if is_load:
+            lat = latencies[:, col]
+            col += 1
+            if top is not None:
+                maximum(t, top[0], out=t)
+        if windows is not None:
+            t = windows.apply(t)
+
+        interlock += t
+        interlock -= next_free
+
+        if is_load:
+            completion = t + lat
+            if top is not None:
+                maximum(top[0], completion, out=top[0])
+                top.sort(axis=0)
+            if windows is not None:
+                over = lat > limit
+                if over.any():
+                    windows.push(t + limit, completion, over, t)
+            if blocking:
+                # Conventional hardware: stall until the data returns.
+                interlock += lat
+                interlock -= 1
+                next_free = completion
+            else:
+                next_free = t + 1
+        else:
+            completion = t + static_latency
+            next_free = t + 1
+        for d in defs:
+            reg_ready[d] = completion
+
+    return BatchSimResult(
+        cycles=next_free, instructions=len(steps), interlocks=interlock
+    )
+
+
+def _scalar_fallback(
+    instructions: Sequence[Instruction],
+    latencies: np.ndarray,
+    processor: ProcessorModel,
+) -> BatchSimResult:
+    """Per-run scalar loop for models the vector path does not cover."""
+    runs = latencies.shape[0]
+    cycles = np.empty(runs, dtype=np.int64)
+    interlocks = np.empty(runs, dtype=np.int64)
+    issued = 0
+    for r in range(runs):
+        result = simulate_block(instructions, latencies[r], processor)
+        cycles[r] = result.cycles
+        interlocks[r] = result.interlock_cycles
+        issued = result.instructions
+    return BatchSimResult(
+        cycles=cycles, instructions=issued, interlocks=interlocks
+    )

@@ -18,7 +18,7 @@ import numpy as np
 from ..ir.block import BasicBlock
 from ..machine.memory import MemorySystem
 from ..machine.processor import ProcessorModel
-from .simulator import simulate_block
+from .batch import simulate_block_batch
 
 #: The paper's run count: "Our method executes the full instruction-by-
 #: instruction simulation 30 times" (Section 4.3).
@@ -93,15 +93,13 @@ def sample_block(
 ) -> BlockSamples:
     """Simulate ``block`` ``runs`` times with fresh latency draws."""
     n_loads = sum(1 for i in block.instructions if i.is_load)
-    cycles = np.empty(runs, dtype=np.int64)
-    interlocks = np.empty(runs, dtype=np.int64)
-    # One vectorised draw covers every run.
+    # One vectorised draw covers every run (the draw order is part of
+    # the deterministic artefact contract -- do not reorder it).
     all_latencies = memory.sample_many(rng, n_loads * runs).reshape(runs, n_loads)
-    for r in range(runs):
-        result = simulate_block(block.instructions, all_latencies[r], processor)
-        cycles[r] = result.cycles
-        interlocks[r] = result.interlock_cycles
-    return BlockSamples(block=block, cycles=cycles, interlocks=interlocks)
+    result = simulate_block_batch(block.instructions, all_latencies, processor)
+    return BlockSamples(
+        block=block, cycles=result.cycles, interlocks=result.interlocks
+    )
 
 
 def simulate_program(

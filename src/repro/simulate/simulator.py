@@ -146,16 +146,26 @@ def _wait_for_load_slot(outstanding: List[int], t: int, limit: int) -> int:
 
 
 def _apply_blocking_windows(windows: List[Tuple[int, int]], t: int) -> int:
-    """Push ``t`` past every LEN-n freeze window it falls into."""
-    moved = True
-    while moved:
-        moved = False
-        for start, end in windows:
-            if start <= t < end:
-                t = end
-                moved = True
-    # Windows fully in the past can be dropped.
-    windows[:] = [(s, e) for s, e in windows if e > t]
+    """Push ``t`` past every LEN-n freeze window it falls into.
+
+    ``windows`` is sorted by start time (windows are created at issue
+    time, and issue times increase monotonically), so one forward pass
+    reaches the fixed point: after a window pushes ``t`` to its end,
+    only windows with *later* starts can still contain ``t`` -- an
+    earlier window would already have triggered before ``t`` grew.
+    """
+    visited = 0
+    for start, end in windows:
+        if start > t:
+            break
+        if t < end:
+            t = end
+        visited += 1
+    if visited:
+        # Every visited window now lies fully in the past (it either
+        # pushed ``t`` to its end or had already expired); the rest
+        # start after ``t``.  Prune once per call.
+        del windows[:visited]
     return t
 
 

@@ -1,0 +1,91 @@
+"""Tests for the parallel cell engine and the shared compilation cache.
+
+The determinism contract: a cell's value is a pure function of its
+:class:`CellSpec` (all random streams are string-keyed), so worker
+count, completion order, and process boundaries must never change a
+result.  jobs=2 genuinely exercises the ProcessPoolExecutor path even
+on a single-core machine -- slower there, but bit-identical.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    COMPILATION_CACHE,
+    CellSpec,
+    ProgramEvaluator,
+    evaluate_cells,
+    pool_map,
+)
+from repro.machine import MAX_8, UNLIMITED, system_row
+from repro.workloads import load_program
+
+
+def _specs():
+    return [
+        CellSpec(program=name, system=system_row(label, latency),
+                 processor=processor, runs=3, n_boot=100)
+        for name in ("TRACK", "ARC2D")
+        for label, latency in (("L80(2,5)", 2), ("N(2,5)", 2))
+        for processor in (UNLIMITED, MAX_8)
+    ]
+
+
+class TestEvaluateCells:
+    def test_serial_matches_direct_evaluation(self):
+        specs = _specs()
+        cells = evaluate_cells(specs, jobs=1)
+        assert [c.program for c in cells] == [s.program for s in specs]
+        direct = ProgramEvaluator(
+            load_program("TRACK"), runs=3, n_boot=100
+        ).cell(specs[0].system, specs[0].processor)
+        assert cells[0].imp_pct == direct.imp_pct
+        assert cells[0].improvement.ci_low == direct.improvement.ci_low
+
+    def test_parallel_bit_identical_to_serial(self):
+        specs = _specs()
+        serial = evaluate_cells(specs, jobs=1)
+        parallel = evaluate_cells(specs, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.program == b.program
+            assert a.imp_pct == b.imp_pct
+            assert a.improvement.ci_low == b.improvement.ci_low
+            assert a.traditional_interlock_pct == b.traditional_interlock_pct
+            assert a.balanced_instructions == b.balanced_instructions
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            evaluate_cells(_specs(), jobs=0)
+
+
+class TestPoolMap:
+    def test_order_preserved(self):
+        assert pool_map(abs, [-3, 1, -2], jobs=2) == [3, 1, 2]
+
+    def test_inline_when_single_job(self):
+        assert pool_map(abs, [-1], jobs=1) == [1]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            pool_map(abs, [1], jobs=-1)
+
+
+class TestCompilationCache:
+    def test_shared_across_evaluators(self):
+        """Two evaluators of the same program share one compilation."""
+        program = load_program("TRACK")
+        first = ProgramEvaluator(program, runs=3).balanced()
+        second = ProgramEvaluator(program, runs=3).balanced()
+        assert first is second
+
+    def test_cache_counts_each_combination_once(self):
+        # Latencies no other test compiles, so the growth counts are
+        # deterministic regardless of what already sits in the global
+        # cache when the full suite runs.
+        program = load_program("ARC2D")
+        evaluator = ProgramEvaluator(program, runs=3)
+        before = len(COMPILATION_CACHE)
+        evaluator.traditional(2.125)
+        evaluator.traditional(17 / 8)  # same Fraction key as 2.125
+        assert len(COMPILATION_CACHE) - before == 1
+        evaluator.traditional(2.375)
+        assert len(COMPILATION_CACHE) - before == 2
