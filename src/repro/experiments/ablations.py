@@ -377,11 +377,81 @@ def _run_one_ablation(index: int) -> Dict[str, float]:
     return ALL_ABLATIONS[index][1]()
 
 
-def run_all_ablations(jobs: int = 1) -> AblationResult:
-    """Run every ablation with its default program."""
-    from .common import pool_map
+def _run_one_ablation_timed(index: int):
+    """Worker entry point: one ablation plus (wall seconds, pid)."""
+    import os
+    import time
 
-    tables = pool_map(_run_one_ablation, range(len(ALL_ABLATIONS)), jobs)
+    start = time.perf_counter()
+    table = _run_one_ablation(index)
+    return table, time.perf_counter() - start, os.getpid()
+
+
+def run_all_ablations(
+    jobs: int = 1, cache=None, manifest=None, resume=None
+) -> AblationResult:
+    """Run every ablation with its default program.
+
+    Each ablation's whole table is one checkpoint unit (they are
+    deterministic: every random stream is string-keyed with fixed
+    seeds); ``cache``/``manifest``/``resume`` default to the ambient
+    engine session.
+    """
+    import os
+
+    from .cache import object_key
+    from .common import PoolMapStats, current_session, pool_map
+
+    session = current_session()
+    if cache is None:
+        cache = session.cache
+    if manifest is None:
+        manifest = session.manifest
+    if resume is None:
+        resume = session.resume
+
+    def key_for(label: str) -> str:
+        return object_key("ablation", label)
+
+    def record(label: str, wall: float, worker: int, status: str,
+               retried: int = 0) -> None:
+        if manifest is not None:
+            manifest.record_cell(
+                key=key_for(label), program="-", system="ablation",
+                processor=label, wall_s=wall, worker=worker, cache=status,
+                retries=retried,
+            )
+
+    tables: List[Optional[Dict[str, float]]] = [None] * len(ALL_ABLATIONS)
+    missing: List[int] = []
+    for index, (label, _fn) in enumerate(ALL_ABLATIONS):
+        cached = (
+            cache.get_object(key_for(label))
+            if cache is not None and resume
+            else None
+        )
+        if cached is not None:
+            tables[index] = cached
+            record(label, 0.0, os.getpid(), "hit")
+        else:
+            missing.append(index)
+    if missing:
+        stats = PoolMapStats()
+
+        def consume(pos: int, timed) -> None:
+            table, wall, worker = timed
+            index = missing[pos]
+            tables[index] = table
+            label = ALL_ABLATIONS[index][0]
+            if cache is not None:
+                cache.put_object(key_for(label), table)
+            record(label, wall, worker, "miss",
+                   stats.item_attempts.get(pos, 0))
+
+        pool_map(
+            _run_one_ablation_timed, missing, jobs,
+            stats=stats, on_result=consume,
+        )
     result = AblationResult()
     for (label, _fn), table in zip(ALL_ABLATIONS, tables):
         result.tables[label] = table

@@ -20,13 +20,27 @@ shared mutable generator state -- so :func:`evaluate_cells` can fan a
 list of :class:`CellSpec` out over a ``concurrent.futures`` process
 pool and return bit-identical results in spec order regardless of
 worker count or completion order (see docs/performance.md).
+
+The engine is also crash-safe and observable: finished cells are
+checkpointed to an on-disk :class:`~repro.experiments.cache.
+ResultCache` as they complete (so an interrupted run resumes where it
+died), a dead worker breaks only its in-flight batches -- which are
+retried on a rebuilt pool and, past the retry budget, degraded to
+inline execution -- and every cell is logged to a run manifest
+(``results/manifest.jsonl``).  See the "Crash safety and resume"
+section of docs/performance.md.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+import atexit
+import logging
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..analysis.alias import AliasModel
 from ..core.balanced import BalancedScheduler
@@ -45,6 +59,10 @@ from ..simulate.stats import (
     program_bootstrap_runtimes,
 )
 from ..workloads.perfect import load_program
+from .cache import ResultCache, cell_key
+from .manifest import ManifestWriter
+
+logger = logging.getLogger("repro.experiments")
 
 
 class CompilationCache:
@@ -255,6 +273,107 @@ class CellSpec:
 _EVALUATORS: Dict[tuple, ProgramEvaluator] = {}
 
 
+class CellEvaluationError(RuntimeError):
+    """A cell failed deterministically; names the offending spec.
+
+    Raised (in place of losing the context across the process
+    boundary) when evaluating one work item throws a real exception --
+    as opposed to the pool itself breaking, which is transient and
+    retried.  The original exception is chained as ``__cause__`` and
+    kept on ``.cause``.
+    """
+
+    def __init__(self, item, cause: Optional[BaseException] = None) -> None:
+        super().__init__(f"evaluating {item!r} failed: {cause!r}")
+        self.item = item
+        self.cause = cause
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``; rebuild from the real fields so
+        # the error survives the worker->parent pipe intact.
+        return (CellEvaluationError, (self.item, self.cause))
+
+
+# ----------------------------------------------------------------------
+# Engine session: the cache/manifest context `run <exp>` executes in
+# ----------------------------------------------------------------------
+@dataclass
+class EngineSession:
+    """What the engine persists while evaluating cells.
+
+    ``cache`` replays finished cells across runs (crash/resume),
+    ``manifest`` logs what ran, ``resume`` gates cache *reads* (writes
+    always happen, so ``--fresh`` still repopulates the store).
+    """
+
+    cache: Optional[ResultCache] = None
+    manifest: Optional[ManifestWriter] = None
+    resume: bool = True
+
+
+_SESSION = EngineSession()
+
+
+def current_session() -> EngineSession:
+    return _SESSION
+
+
+@contextmanager
+def engine_session(
+    cache: Optional[ResultCache] = None,
+    manifest: Optional[ManifestWriter] = None,
+    resume: bool = True,
+) -> Iterator[EngineSession]:
+    """Install a session for the duration of a ``with`` block; every
+    ``evaluate_cells``/table call inside it checkpoints through it
+    unless given explicit overrides."""
+    global _SESSION
+    previous = _SESSION
+    _SESSION = EngineSession(cache=cache, manifest=manifest, resume=resume)
+    try:
+        yield _SESSION
+    finally:
+        _SESSION = previous
+
+
+# ----------------------------------------------------------------------
+# Fault injection (tests and the CI crash drill only)
+# ----------------------------------------------------------------------
+#: Name a program here and the first worker to evaluate one of its
+#: cells dies hard (``os._exit``), simulating an OOM-killed or
+#: segfaulted worker.
+FAULT_PROGRAM_ENV = "BALANCED_SCHED_FAULT_PROGRAM"
+#: Sentinel file path making the crash one-shot: created atomically by
+#: the dying worker, so rebuilt pools (which see the same environment)
+#: do not crash again and the retry can succeed.
+FAULT_ONCE_ENV = "BALANCED_SCHED_FAULT_ONCE_FILE"
+
+#: Pid of the process that imported this module.  Fault injection only
+#: ever fires in *forked pool workers* (pid differs), never in the
+#: parent -- the inline fast path and the degraded-to-inline path run
+#: worker entry points in the parent process, and killing it would
+#: defeat the crash drill the hook exists for.
+_MAIN_PID = os.getpid()
+
+
+def _maybe_inject_fault(spec: CellSpec) -> None:
+    if os.getpid() == _MAIN_PID:
+        return
+    target = os.environ.get(FAULT_PROGRAM_ENV)
+    if not target or spec.program != target:
+        return
+    sentinel = os.environ.get(FAULT_ONCE_ENV)
+    if not sentinel:
+        return
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # already crashed once; behave normally
+    os.close(fd)
+    os._exit(1)
+
+
 def _evaluate_cell(spec: CellSpec) -> CellResult:
     """Worker entry point: evaluate one cell in this process."""
     key = (
@@ -278,9 +397,30 @@ def _evaluate_cell(spec: CellSpec) -> CellResult:
     return evaluator.cell(spec.system, spec.processor)
 
 
+#: One timed cell as it crosses back from a worker.
+_TimedCell = Tuple[CellResult, float, int]
+
+
+def _evaluate_group_timed(specs: Sequence[CellSpec]) -> List[_TimedCell]:
+    """Worker entry point: evaluate one compile-sharing group of cells,
+    returning ``(cell, wall_seconds, worker_pid)`` triples for the
+    manifest.  Deterministic per-cell failures are wrapped so the
+    parent knows exactly which spec died."""
+    out: List[_TimedCell] = []
+    for spec in specs:
+        _maybe_inject_fault(spec)
+        start = time.perf_counter()
+        try:
+            cell = _evaluate_cell(spec)
+        except Exception as exc:
+            raise CellEvaluationError(spec, exc) from exc
+        out.append((cell, time.perf_counter() - start, os.getpid()))
+    return out
+
+
 def _evaluate_group(specs: Sequence[CellSpec]) -> List[CellResult]:
     """Worker entry point: evaluate one compile-sharing group of cells."""
-    return [_evaluate_cell(spec) for spec in specs]
+    return [cell for cell, _, _ in _evaluate_group_timed(specs)]
 
 
 #: Lazily created, reused across evaluate_cells calls (so `run all`
@@ -290,43 +430,153 @@ def _evaluate_group(specs: Sequence[CellSpec]) -> List[CellResult]:
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_JOBS = 0
 
+#: How many times a broken pool is rebuilt before the failed items
+#: degrade to inline (in-process) execution.
+MAX_POOL_RETRIES = 2
+
 
 def _pool(jobs: int) -> ProcessPoolExecutor:
     global _POOL, _POOL_JOBS
     if _POOL is None or _POOL_JOBS != jobs:
-        if _POOL is not None:
-            _POOL.shutdown(wait=True)
+        # Drain the old executor completely before replacing it so a
+        # jobs change never strands its workers.
+        shutdown_pool(wait=True)
         _POOL = ProcessPoolExecutor(max_workers=jobs)
         _POOL_JOBS = jobs
     return _POOL
 
 
-def pool_map(fn: Callable, items: Sequence, jobs: int = 1) -> List:
+def shutdown_pool(wait: bool = True) -> None:
+    """Shut down the shared experiment pool (idempotent).
+
+    Registered via ``atexit`` so the CLI and test runs never strand
+    orphaned worker processes; also the way tests force a cold pool.
+    """
+    global _POOL
+    pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)
+
+
+@dataclass
+class PoolMapStats:
+    """What :func:`pool_map` had to do beyond plain dispatch.
+
+    ``pool_rebuilds`` counts pool breakages survived; ``inline_items``
+    counts items that exhausted the retry budget and ran in-process;
+    ``item_attempts[i]`` is how many times item ``i`` was re-dispatched
+    after a breakage (0 for items that succeeded first try).
+    """
+
+    pool_rebuilds: int = 0
+    inline_items: int = 0
+    item_attempts: Dict[int, int] = field(default_factory=dict)
+
+
+def pool_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int = 1,
+    retries: int = MAX_POOL_RETRIES,
+    stats: Optional[PoolMapStats] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> List:
     """Map a picklable function over items through the shared pool.
 
     Order-preserving.  ``jobs == 1`` (or a single item) runs inline;
     otherwise the persistent experiment pool is used, so repeated calls
     within one process reuse warm workers (and their compilation
-    caches).  If the pool breaks, it is discarded so the next call
-    starts fresh.
+    caches).
+
+    Fault tolerance separates the two failure modes:
+
+    * **The pool broke** (a worker died: OOM kill, segfault, hard
+      exit).  All undelivered items are re-dispatched on a freshly
+      built pool, up to ``retries`` times; items that still cannot be
+      delivered degrade to inline execution in this process, with the
+      downgrade logged.  ``pool_map`` itself never fails because of a
+      dead worker.
+    * **The item is poison** (a deterministic exception from ``fn``,
+      e.g. an unpicklable argument or a bad spec).  The healthy pool
+      is kept -- warm workers and their compilation caches survive --
+      and the exception propagates immediately, wrapped in
+      :class:`CellEvaluationError` naming the offending item (unless
+      the worker already named it).
+
+    ``on_result`` fires as each item completes (in completion order),
+    which is what lets ``evaluate_cells`` checkpoint results while
+    later items are still running.  ``stats`` collects retry counts
+    for the run manifest.
     """
-    global _POOL
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     items = list(items)
+    if stats is None:
+        stats = PoolMapStats()
+    results: List = [None] * len(items)
     if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    try:
-        return list(_pool(jobs).map(fn, items))
-    except Exception:
-        if _POOL is not None:
-            _POOL.shutdown(wait=False)
-            _POOL = None
-        raise
+        for index, item in enumerate(items):
+            results[index] = fn(item)
+            if on_result is not None:
+                on_result(index, results[index])
+        return results
+
+    pending = list(range(len(items)))
+    while pending:
+        executor = _pool(jobs)
+        futures = {executor.submit(fn, items[i]): i for i in pending}
+        broken: List[int] = []
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                results[index] = future.result()
+            except BrokenExecutor:
+                broken.append(index)
+            except Exception as exc:
+                # Deterministic failure: the pool is healthy, keep it.
+                if isinstance(exc, CellEvaluationError):
+                    raise
+                raise CellEvaluationError(items[index], exc) from exc
+            else:
+                if on_result is not None:
+                    on_result(index, results[index])
+        if not broken:
+            return results
+        broken.sort()
+        shutdown_pool(wait=False)  # the pool is dead; don't block on it
+        stats.pool_rebuilds += 1
+        for index in broken:
+            stats.item_attempts[index] = stats.item_attempts.get(index, 0) + 1
+        if stats.pool_rebuilds > retries:
+            logger.warning(
+                "process pool broke %d times (retry budget %d); running "
+                "%d item(s) inline in this process",
+                stats.pool_rebuilds, retries, len(broken),
+            )
+            for index in broken:
+                results[index] = fn(items[index])
+                stats.inline_items += 1
+                if on_result is not None:
+                    on_result(index, results[index])
+            return results
+        logger.warning(
+            "process pool broke (a worker died); rebuilding and retrying "
+            "%d item(s) [attempt %d/%d]",
+            len(broken), stats.pool_rebuilds, retries,
+        )
+        pending = broken
+    return results
 
 
 def evaluate_cells(
-    specs: Sequence[CellSpec], jobs: int = 1
+    specs: Sequence[CellSpec],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    manifest: Optional[ManifestWriter] = None,
+    resume: Optional[bool] = None,
 ) -> List[CellResult]:
     """Evaluate cells, optionally fanned out over a process pool.
 
@@ -335,6 +585,15 @@ def evaluate_cells(
     policy) plus the seed -- never from shared generator state -- so
     the output is bit-identical for any ``jobs``; parallelism only
     changes wall-clock time.
+
+    ``cache``/``manifest``/``resume`` default to the ambient
+    :func:`engine_session`.  With a cache, finished cells are replayed
+    from disk before any work is dispatched (unless ``resume`` is
+    false) and every newly computed cell is persisted *as its batch
+    completes* -- so a crash or Ctrl-C loses at most the in-flight
+    batches, and the next run recomputes only what is missing.
+    Replayed cells are pickle round-trips of the originals, so cached,
+    resumed and fresh runs are byte-identical for any ``jobs``.
 
     The unit of distribution is a *compile-sharing group*: all cells
     with the same (program, optimistic latency, compile settings) need
@@ -347,10 +606,54 @@ def evaluate_cells(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(specs) <= 1:
-        return [_evaluate_cell(spec) for spec in specs]
-    groups: Dict[tuple, List[int]] = {}
+    session = _SESSION
+    if cache is None:
+        cache = session.cache
+    if manifest is None:
+        manifest = session.manifest
+    if resume is None:
+        resume = session.resume
+    specs = list(specs)
+    out: List[Optional[CellResult]] = [None] * len(specs)
+
+    def record(spec: CellSpec, wall: float, worker: int, status: str,
+               retried: int) -> None:
+        if manifest is not None:
+            manifest.record_cell(
+                key=cell_key(spec),
+                program=spec.program,
+                system=spec.system.label,
+                processor=spec.processor.name,
+                wall_s=wall,
+                worker=worker,
+                cache=status,
+                retries=retried,
+            )
+
+    missing: List[int] = []
     for index, spec in enumerate(specs):
+        cached = cache.get(spec) if (cache is not None and resume) else None
+        if cached is not None:
+            out[index] = cached
+            record(spec, 0.0, os.getpid(), "hit", 0)
+        else:
+            missing.append(index)
+    if not missing:
+        return out
+
+    if jobs == 1 or len(missing) <= 1:
+        for index in missing:
+            start = time.perf_counter()
+            out[index] = _evaluate_cell(specs[index])
+            if cache is not None:
+                cache.put(specs[index], out[index])
+            record(specs[index], time.perf_counter() - start,
+                   os.getpid(), "miss", 0)
+        return out
+
+    groups: Dict[tuple, List[int]] = {}
+    for index in missing:
+        spec = specs[index]
         key = (
             spec.program,
             spec.system.optimistic_latency,
@@ -361,7 +664,7 @@ def evaluate_cells(
             spec.alias_model,
         )
         groups.setdefault(key, []).append(index)
-    per_batch = max(1, -(-len(specs) // (jobs * 4)))
+    per_batch = max(1, -(-len(missing) // (jobs * 4)))
     batches: List[List[int]] = []
     current: List[int] = []
     for indices in groups.values():
@@ -372,8 +675,21 @@ def evaluate_cells(
     if current:
         batches.append(current)
     tasks = [[specs[i] for i in batch] for batch in batches]
-    out: List[Optional[CellResult]] = [None] * len(specs)
-    for batch, cells in zip(batches, pool_map(_evaluate_group, tasks, jobs)):
-        for index, cell in zip(batch, cells):
+    stats = PoolMapStats()
+
+    def consume(batch_pos: int, timed: List[_TimedCell]) -> None:
+        # Runs as each batch completes: checkpoint immediately so a
+        # later crash cannot lose this batch.
+        retried = stats.item_attempts.get(batch_pos, 0)
+        for index, (cell, wall, worker) in zip(batches[batch_pos], timed):
             out[index] = cell
+            if cache is not None:
+                cache.put(specs[index], cell)
+            record(specs[index], wall, worker, "miss", retried)
+
+    pool_map(
+        _evaluate_group_timed, tasks, jobs, stats=stats, on_result=consume
+    )
+    if stats.inline_items and manifest is not None:
+        manifest.record_pool_downgrade(stats.inline_items)
     return out

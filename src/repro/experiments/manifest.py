@@ -1,0 +1,284 @@
+"""Run manifests: an append-only JSON-lines log of what actually ran.
+
+Every ``balanced-sched run <exp>`` appends one ``run_start`` record,
+one ``cell`` record per evaluated (or cache-replayed) cell, and one
+``run_end`` record to ``results/manifest.jsonl``.  The log is the
+run's flight recorder: it names the code version (``git describe``),
+the seed/runs/jobs configuration, each cell's wall-clock time, which
+worker process computed it, whether it was a cache hit, and how many
+times its batch was retried after a pool breakage -- so a died run can
+be diagnosed and a published table can point at the exact run that
+produced it (see EXPERIMENTS.md).
+
+Record schema (one JSON object per line; fields beyond these may be
+added, readers must ignore unknown keys):
+
+``run_start``
+    ``run_id, experiment, git, seed, runs, jobs, resume, started``
+``cell``
+    ``run_id, key, program, system, processor, wall_s, worker,
+    cache ("hit"|"miss"), retries``
+``run_end``
+    ``run_id, experiment, status ("ok"|"interrupted"|"failed"),
+    wall_s, cells, hits, misses, retries, inline``
+
+``balanced-sched manifest`` summarises the most recent run(s):
+hit rate, retry count, total wall-clock and the slowest cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Environment override for the manifest path used by the CLI.
+MANIFEST_ENV = "BALANCED_SCHED_MANIFEST"
+
+#: The CLI's default manifest path (relative to the working directory).
+DEFAULT_MANIFEST_PATH = os.path.join("results", "manifest.jsonl")
+
+
+def default_manifest_path() -> str:
+    return os.environ.get(MANIFEST_ENV, DEFAULT_MANIFEST_PATH)
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the working tree, or
+    ``"unknown"`` outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+class ManifestWriter:
+    """Appends run records; each record is flushed to disk immediately
+    so a crash never loses what already ran."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._run_id: Optional[str] = None
+        self._experiment: Optional[str] = None
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    def start_run(self, experiment: str, **fields) -> str:
+        """Open a run; returns its id (also stamped on cell records)."""
+        self._run_id = f"{experiment}-{uuid.uuid4().hex[:8]}"
+        self._experiment = experiment
+        self._counts = {"cells": 0, "hits": 0, "misses": 0, "retries": 0,
+                        "inline": 0}
+        self._append(
+            {
+                "event": "run_start",
+                "run_id": self._run_id,
+                "experiment": experiment,
+                "git": git_describe(),
+                "started": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                **fields,
+            }
+        )
+        return self._run_id
+
+    def record_cell(
+        self,
+        *,
+        key: str,
+        program: str,
+        system: str,
+        processor: str,
+        wall_s: float,
+        worker: int,
+        cache: str,
+        retries: int = 0,
+    ) -> None:
+        self._counts["cells"] = self._counts.get("cells", 0) + 1
+        bucket = "hits" if cache == "hit" else "misses"
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self._counts["retries"] = self._counts.get("retries", 0) + retries
+        self._append(
+            {
+                "event": "cell",
+                "run_id": self._run_id,
+                "key": key,
+                "program": program,
+                "system": system,
+                "processor": processor,
+                "wall_s": round(wall_s, 6),
+                "worker": worker,
+                "cache": cache,
+                "retries": retries,
+            }
+        )
+
+    def record_pool_downgrade(self, items: int) -> None:
+        """A batch exhausted its pool retries and ran inline."""
+        self._counts["inline"] = self._counts.get("inline", 0) + items
+        self._append(
+            {
+                "event": "pool_downgrade",
+                "run_id": self._run_id,
+                "items": items,
+            }
+        )
+
+    def end_run(self, *, wall_s: float, status: str = "ok") -> None:
+        self._append(
+            {
+                "event": "run_end",
+                "run_id": self._run_id,
+                "experiment": self._experiment,
+                "status": status,
+                "wall_s": round(wall_s, 3),
+                **self._counts,
+            }
+        )
+        self._run_id = None
+        self._experiment = None
+
+
+# ----------------------------------------------------------------------
+# Summaries (`balanced-sched manifest`)
+# ----------------------------------------------------------------------
+@dataclass
+class RunSummary:
+    """One run reassembled from its manifest records."""
+
+    start: dict
+    cells: List[dict] = field(default_factory=list)
+    end: Optional[dict] = None
+    downgrades: int = 0
+
+    @property
+    def run_id(self) -> str:
+        return self.start.get("run_id", "?")
+
+    @property
+    def experiment(self) -> str:
+        return self.start.get("experiment", "?")
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for c in self.cells if c.get("cache") == "hit")
+
+    @property
+    def misses(self) -> int:
+        return len(self.cells) - self.hits
+
+    @property
+    def retries(self) -> int:
+        return sum(int(c.get("retries", 0)) for c in self.cells)
+
+    @property
+    def status(self) -> str:
+        if self.end is None:
+            return "incomplete (no run_end -- crashed or still running)"
+        return self.end.get("status", "?")
+
+    def slowest(self, top: int = 5) -> List[dict]:
+        return sorted(
+            self.cells, key=lambda c: c.get("wall_s", 0.0), reverse=True
+        )[:top]
+
+    def format(self, top: int = 5) -> str:
+        lines = [
+            f"run {self.run_id} ({self.experiment})",
+            f"  git {self.start.get('git', '?')}  seed "
+            f"{self.start.get('seed', '?')}  runs "
+            f"{self.start.get('runs', '?')}  jobs {self.start.get('jobs', '?')}",
+            f"  status: {self.status}"
+            + (
+                f"  wall {self.end['wall_s']:.1f}s"
+                if self.end and "wall_s" in self.end
+                else ""
+            ),
+        ]
+        if self.cells:
+            rate = 100.0 * self.hits / len(self.cells)
+            lines.append(
+                f"  cells: {len(self.cells)}  cache hits: {self.hits} "
+                f"({rate:.0f}%)  retries: {self.retries}"
+                + (f"  inline downgrades: {self.downgrades}" if self.downgrades else "")
+            )
+            slow = [c for c in self.slowest(top) if c.get("cache") != "hit"]
+            if slow:
+                lines.append(f"  slowest cells:")
+                for c in slow:
+                    lines.append(
+                        f"    {c.get('wall_s', 0.0):8.3f}s  "
+                        f"{c.get('program', '?'):8s} {c.get('system', '?'):22s} "
+                        f"{c.get('processor', '?'):10s} worker {c.get('worker', '?')}"
+                        + (
+                            f"  (retried x{c['retries']})"
+                            if c.get("retries")
+                            else ""
+                        )
+                    )
+        else:
+            lines.append("  cells: 0")
+        return "\n".join(lines)
+
+
+def read_runs(path) -> List[RunSummary]:
+    """Every run in the manifest, oldest first.  Unparseable lines
+    (torn writes from a crash) are skipped."""
+    runs: List[RunSummary] = []
+    by_id: Dict[str, RunSummary] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        event = record.get("event")
+        run_id = record.get("run_id")
+        if event == "run_start" and run_id:
+            summary = RunSummary(start=record)
+            runs.append(summary)
+            by_id[run_id] = summary
+        elif run_id in by_id:
+            if event == "cell":
+                by_id[run_id].cells.append(record)
+            elif event == "run_end":
+                by_id[run_id].end = record
+            elif event == "pool_downgrade":
+                by_id[run_id].downgrades += int(record.get("items", 0))
+    return runs
+
+
+def summarize_manifest(path, last: int = 1, top: int = 5) -> str:
+    """Human summary of the ``last`` most recent runs."""
+    runs = read_runs(path)
+    if not runs:
+        return f"no runs recorded in {path}"
+    chosen = runs[-last:]
+    blocks = [run.format(top=top) for run in reversed(chosen)]
+    blocks.append(f"({len(runs)} run(s) in {path})")
+    return "\n\n".join(blocks)

@@ -23,8 +23,20 @@ plus stall attribution)::
 
     balanced-sched trace kernel.mf --memory "N(2,5)" --policy balanced
 
+Summarise the most recent recorded run(s) from the manifest log::
+
+    balanced-sched manifest
+    balanced-sched manifest --last 8
+
 Common options: ``--seed`` (root RNG seed), ``--runs`` (simulation runs
 per block; the paper uses 30), ``--quick`` (3 runs).
+
+Crash safety: ``run`` checkpoints every finished cell to an on-disk
+result cache (``results/cache`` by default) and appends what ran to
+``results/manifest.jsonl``; an interrupted or crashed run re-executed
+with the same arguments recomputes only the missing cells
+(``--resume``, the default).  ``--fresh`` recomputes everything; see
+docs/performance.md ("Crash safety and resume").
 """
 
 from __future__ import annotations
@@ -37,6 +49,9 @@ from typing import List, Optional
 
 from ..simulate.rng import DEFAULT_SEED
 from .ablations import run_all_ablations
+from .cache import ResultCache, default_cache_dir
+from .common import engine_session
+from .manifest import ManifestWriter, default_manifest_path, summarize_manifest
 from .figure2 import run_figure2
 from .figure3 import run_figure3
 from .report import export
@@ -104,24 +119,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         jobs = cores
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    manifest = ManifestWriter(args.manifest)
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
     timings = []
-    for name in names:
-        start = time.time()
-        result = _dispatch(name, args.seed, runs, jobs)
-        elapsed = time.time() - start
-        timings.append((name, elapsed))
-        if args.format != "text" and name in _EXPORTABLE:
-            print(export(result, args.format))
-        else:
-            print(result.format())
-        print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
+    with engine_session(cache=cache, manifest=manifest, resume=args.resume):
+        for name in names:
+            start = time.time()
+            manifest.start_run(
+                name, seed=args.seed, runs=runs, jobs=jobs,
+                resume=args.resume,
+            )
+            try:
+                result = _dispatch(name, args.seed, runs, jobs)
+            except KeyboardInterrupt:
+                elapsed = time.time() - start
+                manifest.end_run(wall_s=elapsed, status="interrupted")
+                print(
+                    f"\n  [interrupted during {name} after {elapsed:.1f}s; "
+                    "finished cells are checkpointed -- re-run the same "
+                    "command to resume]",
+                    file=sys.stderr,
+                )
+                return 130
+            except BaseException:
+                manifest.end_run(
+                    wall_s=time.time() - start, status="failed"
+                )
+                raise
+            elapsed = time.time() - start
+            manifest.end_run(wall_s=elapsed, status="ok")
+            timings.append((name, elapsed))
+            if args.format != "text" and name in _EXPORTABLE:
+                print(export(result, args.format))
+            else:
+                print(result.format())
+            print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
     if len(names) > 1:
         total = sum(elapsed for _, elapsed in timings)
         print(f"  timing summary (--jobs {jobs}):")
         for name, elapsed in timings:
             print(f"    {name:10s} {elapsed:6.1f}s")
         print(f"    {'total':10s} {total:6.1f}s")
+    return 0
+
+
+def _cmd_manifest(args: argparse.Namespace) -> int:
+    print(summarize_manifest(args.path, last=args.last, top=args.top))
     return 0
 
 
@@ -264,7 +308,56 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--format", choices=["text", "csv", "markdown"], default="text"
     )
+    run.add_argument(
+        "--resume",
+        dest="resume",
+        action="store_true",
+        default=True,
+        help="replay finished cells from the result cache (default)",
+    )
+    run.add_argument(
+        "--fresh",
+        dest="resume",
+        action="store_false",
+        help="recompute every cell, ignoring cached results "
+        "(the cache is still refreshed)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=default_cache_dir(),
+        help="result-cache directory (env BALANCED_SCHED_CACHE_DIR; "
+        "default results/cache)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache entirely",
+    )
+    run.add_argument(
+        "--manifest",
+        default=default_manifest_path(),
+        help="run-manifest JSONL path (env BALANCED_SCHED_MANIFEST; "
+        "default results/manifest.jsonl)",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    manifest = sub.add_parser(
+        "manifest", help="summarise the most recent recorded run(s)"
+    )
+    manifest.add_argument(
+        "--path",
+        default=default_manifest_path(),
+        help="manifest JSONL to read (default results/manifest.jsonl)",
+    )
+    manifest.add_argument(
+        "--last", type=_positive_int, default=1,
+        help="how many recent runs to show",
+    )
+    manifest.add_argument(
+        "--top", type=_positive_int, default=5,
+        help="slowest cells to list per run",
+    )
+    manifest.set_defaults(handler=_cmd_manifest)
 
     compile_cmd = sub.add_parser("compile", help="compile a minif file")
     compile_cmd.add_argument("file")

@@ -103,8 +103,23 @@ class Table1Result:
         return "\n".join(lines)
 
 
-def run_table1() -> Table1Result:
-    """Regenerate Table 1 from the reconstructed Figure 7 DAG."""
+def run_table1(manifest=None) -> Table1Result:
+    """Regenerate Table 1 from the reconstructed Figure 7 DAG.
+
+    Purely symbolic (exact Fractions, no simulation or compilation),
+    so there is nothing to checkpoint; the computation is still logged
+    to the run ``manifest`` (ambient session by default) so `run all`
+    manifests account for every experiment uniformly.
+    """
+    import os
+    import time
+
+    from .cache import object_key
+    from .common import current_session
+
+    if manifest is None:
+        manifest = current_session().manifest
+    start = time.perf_counter()
     block, labels = figure7_block()
     dag = build_dag(block)
     raw_matrix = contribution_matrix(dag)
@@ -119,4 +134,10 @@ def run_table1() -> Table1Result:
         for load, row in raw_matrix.items()
     }
     weights = {labels[load]: value for load, value in raw_weights.items()}
+    if manifest is not None:
+        manifest.record_cell(
+            key=object_key("table1"), program="figure7", system="table1",
+            processor="-", wall_s=time.perf_counter() - start,
+            worker=os.getpid(), cache="miss",
+        )
     return Table1Result(matrix=matrix, weights=weights)

@@ -82,9 +82,18 @@ class Table5Result:
 
 
 def run_table5(
-    seed: int = DEFAULT_SEED, runs: int = 30, jobs: int = 1
+    seed: int = DEFAULT_SEED,
+    runs: int = 30,
+    jobs: int = 1,
+    cache=None,
+    manifest=None,
+    resume=None,
 ) -> Table5Result:
-    """Evaluate N(30,5) for every program and processor model."""
+    """Evaluate N(30,5) for every program and processor model.
+
+    ``cache``/``manifest``/``resume`` checkpoint and log the run; they
+    default to the ambient engine session (see ``evaluate_cells``).
+    """
     row = system_row(N30_LABEL, N30_LATENCY)
     specs = [
         CellSpec(
@@ -94,7 +103,9 @@ def run_table5(
         for name in program_names()
         for processor in PAPER_PROCESSORS
     ]
-    results = evaluate_cells(specs, jobs=jobs)
+    results = evaluate_cells(
+        specs, jobs=jobs, cache=cache, manifest=manifest, resume=resume
+    )
     cells: Dict[Tuple[str, str], CellResult] = {
         (spec.program, spec.processor.name): cell
         for spec, cell in zip(specs, results)

@@ -164,9 +164,12 @@ def simulate_block_batch(
         raise ValueError(
             f"latencies must have shape (runs, n_loads), got {latencies.shape}"
         )
-    if processor.issue_width > 1:
-        return _scalar_fallback(instructions, latencies, processor)
 
+    # Malformed-input handling mirrors the scalar ``simulate_block``
+    # exactly (same exception types and messages), and runs *before*
+    # the superscalar fallback so every processor model agrees; see
+    # tests/simulate/test_malformed_inputs.py.  Extra trailing latency
+    # columns are permitted and ignored, like extra scalar entries.
     executed = [i for i in instructions if i.opcode is not Opcode.NOP]
     n_loads = sum(1 for i in executed if i.is_load)
     runs = latencies.shape[0]
@@ -174,6 +177,17 @@ def simulate_block_batch(
         raise LatencyOverrunError(
             f"{n_loads} loads but only {latencies.shape[1]} latencies"
         )
+    used = latencies[:, :n_loads]
+    if used.size and (used < 0).any():
+        rows, cols = np.nonzero(used < 0)  # row-major: first bad run first
+        run, load = int(rows[0]), int(cols[0])
+        raise ValueError(
+            f"negative load latency {int(used[run, load])} at load {load}"
+        )
+
+    if processor.issue_width > 1:
+        return _scalar_fallback(instructions, latencies, processor)
+
     if runs == 0:
         empty = np.zeros(0, dtype=np.int64)
         return BatchSimResult(empty, len(executed), empty.copy())

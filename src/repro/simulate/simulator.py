@@ -57,6 +57,34 @@ class LatencyOverrunError(ValueError):
     """Raised when fewer latencies than loads are supplied."""
 
 
+def _validate_latencies(
+    instructions: Sequence[Instruction], latencies: Sequence[int]
+) -> int:
+    """Check ``latencies`` covers every executed load, non-negatively.
+
+    Returns the number of executed (non-NOP) loads.  Extra trailing
+    latencies are permitted and ignored, so callers may share one
+    oversized sample buffer across blocks; only the entries a load
+    will actually consume are validated.  The batch simulator applies
+    the same rules with the same messages (see
+    ``tests/simulate/test_malformed_inputs.py``).
+    """
+    n_loads = sum(
+        1
+        for inst in instructions
+        if inst.opcode is not Opcode.NOP and inst.is_load
+    )
+    if len(latencies) < n_loads:
+        raise LatencyOverrunError(
+            f"{n_loads} loads but only {len(latencies)} latencies"
+        )
+    for index in range(n_loads):
+        value = int(latencies[index])
+        if value < 0:
+            raise ValueError(f"negative load latency {value} at load {index}")
+    return n_loads
+
+
 def simulate_block(
     instructions: Sequence[Instruction],
     latencies: Sequence[int],
@@ -68,6 +96,7 @@ def simulate_block(
     order (pre-drawing them lets callers vectorise the sampling across
     the 30 runs of an experiment).
     """
+    _validate_latencies(instructions, latencies)
     if processor.issue_width > 1:
         return _simulate_superscalar(instructions, latencies, processor)
 
@@ -90,10 +119,6 @@ def simulate_block(
                 t = ready
 
         if inst.is_load:
-            if load_index >= len(latencies):
-                raise LatencyOverrunError(
-                    f"{load_index + 1} loads but only {len(latencies)} latencies"
-                )
             latency = int(latencies[load_index])
             load_index += 1
 
@@ -201,10 +226,6 @@ def _simulate_superscalar(
             if ready > t:
                 t = ready
         if inst.is_load:
-            if load_index >= len(latencies):
-                raise LatencyOverrunError(
-                    f"{load_index + 1} loads but only {len(latencies)} latencies"
-                )
             latency = int(latencies[load_index])
             load_index += 1
             if processor.max_outstanding_loads is not None:

@@ -1,0 +1,184 @@
+"""Fault tolerance: dead workers, poison items, and crash/resume.
+
+``pool_map`` must separate the two failure modes -- a broken pool
+(worker died; transient, retried on a rebuilt pool, degraded to inline
+past the budget) from a poison item (deterministic exception; the
+healthy pool survives and the error names the item).  The end-to-end
+drill kills a real pool worker mid-``evaluate_cells`` via the
+environment hook and requires byte-identical results anyway.
+
+The crash hooks only fire in *forked workers* (never the parent), and
+environment variables reach workers only if the pool forks *after*
+they are set -- hence the ``shutdown_pool`` fixture.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.cache import ResultCache
+from repro.experiments.common import (
+    FAULT_ONCE_ENV,
+    FAULT_PROGRAM_ENV,
+    CellEvaluationError,
+    CellSpec,
+    PoolMapStats,
+    evaluate_cells,
+    pool_map,
+    shutdown_pool,
+)
+from repro.experiments.manifest import ManifestWriter, read_runs
+from repro.machine import MAX_8, UNLIMITED, system_row
+
+_PARENT_PID = os.getpid()
+
+
+@pytest.fixture(autouse=True)
+def cold_pool():
+    """Fork fresh workers after each test's environment is in place,
+    and never leak crash-hook workers into later tests."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+# ----------------------------------------------------------------------
+# Picklable worker functions (pool workers import them by reference)
+# ----------------------------------------------------------------------
+def _always_crash(item):
+    if os.getpid() != _PARENT_PID:
+        os._exit(1)
+    return item * 2
+
+
+def _crash_once(args):
+    item, sentinel = args
+    if os.getpid() != _PARENT_PID:
+        try:
+            os.close(os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            pass
+        else:
+            os._exit(1)
+    return item * 10
+
+
+def _poison(item):
+    if item == 3:
+        raise ValueError("boom")
+    return -item
+
+
+def _specs():
+    return [
+        CellSpec(program=name, system=system_row(label, 2),
+                 processor=processor, runs=3, n_boot=100)
+        for name, processor in (("TRACK", UNLIMITED), ("ARC2D", MAX_8))
+        for label in ("L80(2,5)", "N(2,5)")
+    ]
+
+
+class TestPoolMapFaults:
+    def test_broken_pool_is_rebuilt_and_retried(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        stats = PoolMapStats()
+        items = [(i, sentinel) for i in range(4)]
+        results = pool_map(_crash_once, items, jobs=2, stats=stats)
+        assert results == [0, 10, 20, 30]
+        assert os.path.exists(sentinel), "the crash never fired"
+        assert stats.pool_rebuilds == 1
+        assert stats.inline_items == 0
+        assert stats.item_attempts, "retried items must be counted"
+
+    def test_exhausted_retries_degrade_to_inline(self, caplog):
+        stats = PoolMapStats()
+        with caplog.at_level("WARNING", logger="repro.experiments"):
+            results = pool_map(
+                _always_crash, list(range(4)), jobs=2, retries=0, stats=stats
+            )
+        assert results == [0, 2, 4, 6]
+        assert stats.pool_rebuilds == 1
+        assert stats.inline_items == 4
+        assert any("inline" in r.message for r in caplog.records)
+
+    def test_poison_item_propagates_and_keeps_the_pool(self):
+        healthy = common._pool(2)
+        with pytest.raises(CellEvaluationError) as exc:
+            pool_map(_poison, [1, 2, 3, 4], jobs=2)
+        assert exc.value.item == 3
+        assert isinstance(exc.value.cause, ValueError)
+        assert "boom" in repr(exc.value.cause)
+        # The pool survived the deterministic failure (warm workers and
+        # their compilation caches are expensive to rebuild)...
+        assert common._POOL is healthy
+        # ...and still works.
+        assert pool_map(_poison, [1, 2], jobs=2) == [-1, -2]
+
+    def test_cell_evaluation_error_survives_pickling(self):
+        error = CellEvaluationError(("some", "item"), ValueError("why"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.item == ("some", "item")
+        assert isinstance(clone.cause, ValueError)
+        assert str(clone) == str(error)
+
+    def test_on_result_sees_every_item_once(self):
+        seen = {}
+        results = pool_map(
+            abs, [-4, -5, -6], jobs=1,
+            on_result=lambda index, value: seen.setdefault(index, value),
+        )
+        assert results == [4, 5, 6]
+        assert seen == {0: 4, 1: 5, 2: 6}
+
+
+class TestWorkerDeathEndToEnd:
+    def test_killed_worker_changes_nothing_but_wall_clock(
+        self, tmp_path, monkeypatch
+    ):
+        """The tentpole invariant: a worker dying mid-run must not
+        change a single byte of the results."""
+        specs = _specs()
+        baseline = evaluate_cells(specs, jobs=1)
+
+        sentinel = str(tmp_path / "worker-died")
+        monkeypatch.setenv(FAULT_PROGRAM_ENV, "TRACK")
+        monkeypatch.setenv(FAULT_ONCE_ENV, sentinel)
+        shutdown_pool()  # fork workers that see the crash hook
+
+        cache = ResultCache(tmp_path / "cache")
+        manifest = ManifestWriter(tmp_path / "m.jsonl")
+        manifest.start_run("drill", seed=0, runs=3, jobs=2, resume=True)
+        survived = evaluate_cells(
+            specs, jobs=2, cache=cache, manifest=manifest, resume=True
+        )
+        manifest.end_run(wall_s=0.0)
+
+        assert os.path.exists(sentinel), "the worker never died"
+        for a, b in zip(baseline, survived):
+            assert a.program == b.program
+            assert a.imp_pct == b.imp_pct
+            assert a.improvement.ci_low == b.improvement.ci_low
+            assert a.traditional_interlock_pct == b.traditional_interlock_pct
+            assert a.balanced_instructions == b.balanced_instructions
+
+        (run,) = read_runs(manifest.path)
+        assert run.retries > 0, "the manifest must show the retries"
+        assert run.misses == len(specs)
+
+        # Every cell was checkpointed despite the crash; a re-run after
+        # the drill is pure replay.
+        assert len(cache) == len(specs)
+        replay = evaluate_cells(specs, jobs=1, cache=cache)
+        for a, b in zip(survived, replay):
+            assert pickle.dumps(a) == pickle.dumps(b)
+
+    def test_downgrade_is_recorded_in_the_manifest(self, tmp_path):
+        manifest = ManifestWriter(tmp_path / "m.jsonl")
+        manifest.start_run("drill", seed=0, runs=3, jobs=2, resume=True)
+        manifest.record_pool_downgrade(3)
+        manifest.end_run(wall_s=0.0)
+        (run,) = read_runs(manifest.path)
+        assert run.downgrades == 3
+        assert run.end["inline"] == 3

@@ -1,0 +1,126 @@
+"""Tests for the run manifest (the engine's flight recorder)."""
+
+import json
+
+from repro.experiments.manifest import (
+    ManifestWriter,
+    read_runs,
+    summarize_manifest,
+)
+
+
+def _write_run(path, experiment="table2", cells=3, hits=1, status="ok"):
+    writer = ManifestWriter(path)
+    run_id = writer.start_run(experiment, seed=42, runs=3, jobs=2, resume=True)
+    for index in range(cells):
+        writer.record_cell(
+            key=f"k{index}",
+            program=f"P{index}",
+            system="L80(2,5) @ 2",
+            processor="UNLIMITED",
+            wall_s=0.5 * (index + 1),
+            worker=1000 + index,
+            cache="hit" if index < hits else "miss",
+            retries=index,
+        )
+    writer.end_run(wall_s=9.5, status=status)
+    return run_id
+
+
+class TestWriter:
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5  # start + 3 cells + end
+        records = [json.loads(line) for line in lines]
+        assert [r["event"] for r in records] == [
+            "run_start", "cell", "cell", "cell", "run_end",
+        ]
+
+    def test_run_id_stamps_every_record(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        run_id = _write_run(path)
+        for line in path.read_text().strip().splitlines():
+            assert json.loads(line)["run_id"] == run_id
+
+    def test_end_run_carries_counts(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path, cells=4, hits=1)
+        end = json.loads(path.read_text().strip().splitlines()[-1])
+        assert end["cells"] == 4
+        assert end["hits"] == 1
+        assert end["misses"] == 3
+        assert end["retries"] == 0 + 1 + 2 + 3
+
+    def test_appends_across_runs(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        first = _write_run(path, experiment="table2")
+        second = _write_run(path, experiment="table3")
+        runs = read_runs(path)
+        assert [r.run_id for r in runs] == [first, second]
+
+
+class TestReader:
+    def test_reassembles_cells_and_status(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path, cells=3, hits=2, status="interrupted")
+        (run,) = read_runs(path)
+        assert run.experiment == "table2"
+        assert len(run.cells) == 3
+        assert run.hits == 2
+        assert run.misses == 1
+        assert run.status == "interrupted"
+
+    def test_missing_run_end_reads_as_incomplete(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        writer = ManifestWriter(path)
+        writer.start_run("table5", seed=1, runs=3, jobs=1, resume=True)
+        writer.record_cell(
+            key="k", program="MDG", system="s", processor="p",
+            wall_s=1.0, worker=1, cache="miss",
+        )
+        (run,) = read_runs(path)
+        assert "incomplete" in run.status
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        """A crash can tear the final line; readers must survive it."""
+        path = tmp_path / "m.jsonl"
+        _write_run(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "cell", "run_id"')  # torn mid-write
+        (run,) = read_runs(path)
+        assert len(run.cells) == 3
+
+    def test_slowest_orders_by_wall_clock(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path, cells=3, hits=0)
+        (run,) = read_runs(path)
+        slow = run.slowest(2)
+        assert [c["program"] for c in slow] == ["P2", "P1"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_runs(tmp_path / "absent.jsonl") == []
+
+
+class TestSummary:
+    def test_summary_names_runs_hits_and_slow_cells(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path, experiment="table3", cells=3, hits=1)
+        text = summarize_manifest(path, last=1, top=2)
+        assert "table3" in text
+        assert "cache hits: 1" in text
+        assert "P2" in text  # the slowest non-hit cell
+        assert "1 run(s)" in text
+
+    def test_last_selects_most_recent(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        _write_run(path, experiment="table2")
+        _write_run(path, experiment="table4")
+        only_last = summarize_manifest(path, last=1)
+        assert "table4" in only_last and "(table2)" not in only_last
+        both = summarize_manifest(path, last=2)
+        assert "table4" in both and "table2" in both
+
+    def test_empty_manifest_summary(self, tmp_path):
+        assert "no runs" in summarize_manifest(tmp_path / "absent.jsonl")
