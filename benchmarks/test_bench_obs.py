@@ -1,0 +1,188 @@
+"""Observability overhead benchmarks.
+
+Records ``BENCH_obs.json`` (repo root): what ``repro.obs`` costs when
+it is off (the null-recorder path, which must stay within noise of the
+uninstrumented scheduler micro-bench in ``test_bench_scale.py``) and
+what it costs when it is on (spans + metrics, and spans + metrics +
+attribution replay at the cell level).
+
+The hard acceptance bound lives in
+``test_bench_null_spans_add_under_two_percent``: the null-span wrapper
+that ``schedule_dag`` adds around the list scheduler must cost <2% of
+the 512-instruction scheduler micro-bench, measured interleaved in the
+same process so machine noise cancels.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+import pytest
+
+from repro.analysis import build_dag
+from repro.core import BalancedScheduler
+from repro.experiments.common import COMPILATION_CACHE, ProgramEvaluator
+from repro.machine import UNLIMITED
+from repro.machine.config import paper_system_rows
+from repro.obs import recorder as obs
+from repro.obs.recorder import span as _span
+from repro.simulate.rng import spawn
+from repro.workloads import random_block
+from repro.workloads.perfect import clear_cache, load_program
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+BLOCK_SIZE = 512
+OVERHEAD_CEILING_PCT = 2.0
+
+_RECORD: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_record():
+    """Collect every test's numbers, then write BENCH_obs.json."""
+    yield _RECORD
+    _RECORD["meta"] = {
+        "block_size": BLOCK_SIZE,
+        "overhead_ceiling_pct": OVERHEAD_CEILING_PCT,
+        "usable_cores": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    BENCH_PATH.write_text(json.dumps(_RECORD, indent=2, sort_keys=True) + "\n")
+    print(f"\n[written to {BENCH_PATH}]")
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_dag():
+    block = random_block(spawn("bench-obs"), n_instructions=BLOCK_SIZE)
+    policy = BalancedScheduler()
+    dag = build_dag(block)
+    policy.assign_weights(dag)
+    return policy, dag, block
+
+
+def test_bench_null_spans_add_under_two_percent():
+    """The ``schedule_dag`` obs wrapper (two null spans per schedule)
+    versus the bare list scheduler -- the same leg
+    ``test_bench_scale.py`` benches.  Interleaved best-of-N, so the
+    <2% bound is about the instrumentation, not the machine."""
+    policy, dag, block = _bench_dag()
+    scheduler = policy._scheduler
+    assert obs.get() is None, "obs must be disabled for this benchmark"
+
+    def bare():
+        scheduler.schedule(dag, block)
+
+    def wrapped():
+        # schedule_dag's exact obs layer, minus the weight computation
+        # (identical in both legs and excluded from both).
+        with _span("weights", policy=policy.name):
+            pass
+        with _span("schedule", policy=policy.name):
+            scheduler.schedule(dag, block)
+
+    # The true wrapper cost is a few microseconds on a ~20ms schedule,
+    # far below scheduler jitter on a loaded machine.  Pair the legs
+    # back-to-back each round and take the median per-round ratio:
+    # drift and interference hit both halves of a pair, so the median
+    # isolates the instrumentation.
+    ratios = []
+    for _ in range(21):
+        bare_s = _best_of(bare, repeats=1)
+        wrapped_s = _best_of(wrapped, repeats=1)
+        ratios.append(wrapped_s / bare_s)
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    overhead_pct = (median_ratio - 1.0) * 100.0
+
+    _RECORD["null_span_wrapper_512"] = {
+        "median_ratio": round(median_ratio, 5),
+        "best_ratio": round(ratios[0], 5),
+        "worst_ratio": round(ratios[-1], 5),
+        "overhead_pct": round(overhead_pct, 3),
+    }
+    assert overhead_pct < OVERHEAD_CEILING_PCT, (
+        f"null-recorder spans add {overhead_pct:.2f}% to the scheduler "
+        f"micro-bench (ceiling {OVERHEAD_CEILING_PCT}%)"
+    )
+
+
+def test_bench_null_guard_cost():
+    """Per-call cost of the module-global guard the hot paths use."""
+    iterations = 1_000_000
+
+    def guard_loop():
+        get = obs.get
+        for _ in range(iterations):
+            if get() is None:
+                pass
+
+    seconds = _best_of(guard_loop, repeats=3)
+    _RECORD["null_guard"] = {
+        "ns_per_call": round(seconds / iterations * 1e9, 2),
+    }
+
+
+def test_bench_schedule_disabled_vs_enabled():
+    """Full recording cost at the scheduler layer: spans + per-step
+    selection metrics, with and without the decision log."""
+    policy, dag, block = _bench_dag()
+
+    disabled = _best_of(lambda: policy.schedule_dag(dag, block))
+
+    def enabled():
+        with obs.recording():
+            policy.schedule_dag(dag, block)
+
+    def with_decisions():
+        with obs.recording(decisions=True):
+            policy.schedule_dag(dag, block)
+
+    enabled_s = _best_of(enabled)
+    decisions_s = _best_of(with_decisions)
+    _RECORD["schedule_dag_512"] = {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled_s,
+        "enabled_decisions_seconds": decisions_s,
+        "enabled_over_disabled": round(enabled_s / disabled, 2),
+        "decisions_over_disabled": round(decisions_s / disabled, 2),
+    }
+
+
+def test_bench_cell_disabled_vs_enabled():
+    """User-facing cost of ``--obs`` on one table cell (compile +
+    simulate + stall-attribution replay), ADM on the paper's first
+    system row."""
+    row = paper_system_rows()[0]
+
+    def evaluate():
+        clear_cache()
+        COMPILATION_CACHE.clear()
+        ProgramEvaluator(load_program("ADM"), runs=3).cell(row, UNLIMITED)
+
+    disabled = _best_of(evaluate, repeats=3)
+
+    def observed():
+        with obs.recording():
+            evaluate()
+
+    enabled = _best_of(observed, repeats=3)
+    _RECORD["adm_cell_runs3"] = {
+        "disabled_seconds": round(disabled, 4),
+        "enabled_seconds": round(enabled, 4),
+        "enabled_over_disabled": round(enabled / disabled, 2),
+    }

@@ -15,7 +15,7 @@ from fractions import Fraction
 from typing import Sequence
 
 from ..analysis.dag import CodeDAG
-from .policy import SchedulingPolicy
+from .policy import SchedulingPolicy, observe_load_weights
 from .scheduler import DEFAULT_TIE_BREAKS, Direction, TieBreak
 from .weights import average_block_weight, balanced_weights
 
@@ -33,7 +33,9 @@ class BalancedScheduler(SchedulingPolicy):
         super().__init__(tie_breaks, direction)
 
     def assign_weights(self, dag: CodeDAG) -> None:
-        dag.set_load_weights(balanced_weights(dag))
+        weights = balanced_weights(dag)
+        dag.set_load_weights(weights)
+        observe_load_weights(self.name, weights)
 
 
 class AverageWeightScheduler(SchedulingPolicy):
@@ -60,3 +62,6 @@ class AverageWeightScheduler(SchedulingPolicy):
             return
         for node in dag.load_nodes():
             dag.set_weight(node, average)
+        observe_load_weights(
+            self.name, {node: average for node in dag.load_nodes()}
+        )

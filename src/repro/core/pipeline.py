@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from ..analysis.alias import AliasModel
 from ..analysis.dependence import build_dag
 from ..ir.block import BasicBlock, Program
+from ..obs.recorder import span as _span
 from ..regalloc.linear_scan import AllocationResult, LinearScanAllocator
 from ..regalloc.target import DEFAULT_REGISTER_FILE, RegisterFile
 from .policy import SchedulingPolicy
@@ -100,27 +101,31 @@ def compile_block(
     :class:`repro.regalloc.chaitin.ChaitinAllocator`); the default is
     linear scan over ``register_file``.
     """
-    pass1 = policy.schedule_block(block, alias_model=alias_model)
+    with _span("compile_block", block=block.name, policy=policy.name):
+        with _span("pass1"):
+            pass1 = policy.schedule_block(block, alias_model=alias_model)
 
-    if register_file is None and allocator is None:
+        if register_file is None and allocator is None:
+            return CompiledBlock(
+                source=block, final=pass1.block, pass1=pass1, allocation=None, pass2=None
+            )
+
+        if allocator is None:
+            allocator = LinearScanAllocator(register_file)
+        with _span("regalloc"):
+            allocation = allocator.allocate(pass1.block)
+
+        pass2: Optional[ScheduleResult] = None
+        final = allocation.block
+        if second_pass:
+            with _span("pass2"):
+                dag = build_dag(final, alias_model=alias_model)
+                pass2 = policy.schedule_dag(dag, final)
+            final = pass2.block
+
         return CompiledBlock(
-            source=block, final=pass1.block, pass1=pass1, allocation=None, pass2=None
+            source=block, final=final, pass1=pass1, allocation=allocation, pass2=pass2
         )
-
-    if allocator is None:
-        allocator = LinearScanAllocator(register_file)
-    allocation = allocator.allocate(pass1.block)
-
-    pass2: Optional[ScheduleResult] = None
-    final = allocation.block
-    if second_pass:
-        dag = build_dag(final, alias_model=alias_model)
-        pass2 = policy.schedule_dag(dag, final)
-        final = pass2.block
-
-    return CompiledBlock(
-        source=block, final=final, pass1=pass1, allocation=allocation, pass2=pass2
-    )
 
 
 def compile_program(

@@ -17,6 +17,8 @@ from ..analysis.alias import AliasModel
 from ..analysis.dag import CodeDAG
 from ..analysis.dependence import build_dag
 from ..ir.block import BasicBlock
+from ..obs import recorder as _obs
+from ..obs.recorder import span as _span
 from .scheduler import (
     DEFAULT_TIE_BREAKS,
     Direction,
@@ -24,6 +26,25 @@ from .scheduler import (
     ScheduleResult,
     TieBreak,
 )
+
+
+def observe_load_weights(policy_name: str, weights) -> None:
+    """Record a policy's per-load weight assignments when obs is on.
+
+    For the balanced policy this is the Figure 6 output -- the one
+    number per load the whole paper turns on -- labelled by policy and
+    by the block of the enclosing span, as an exact histogram.
+    """
+    rec = _obs.get()
+    if rec is None or not weights:
+        return
+    block = str(rec.context().get("block", "?"))
+    rec.metrics.observe_many(
+        "sched.load_weight",
+        (float(w) for w in weights.values()),
+        policy=policy_name,
+        block=block,
+    )
 
 
 class SchedulingPolicy(abc.ABC):
@@ -50,8 +71,10 @@ class SchedulingPolicy(abc.ABC):
     # ------------------------------------------------------------------
     def schedule_dag(self, dag: CodeDAG, block: Optional[BasicBlock] = None) -> ScheduleResult:
         """Weight the DAG, then run the shared list scheduler."""
-        self.assign_weights(dag)
-        return self._scheduler.schedule(dag, block)
+        with _span("weights", policy=self.name):
+            self.assign_weights(dag)
+        with _span("schedule", policy=self.name):
+            return self._scheduler.schedule(dag, block)
 
     def schedule_block(
         self,
@@ -59,7 +82,8 @@ class SchedulingPolicy(abc.ABC):
         alias_model: AliasModel = AliasModel.FORTRAN,
     ) -> ScheduleResult:
         """Build the block's DAG and schedule it under this policy."""
-        dag = build_dag(block, alias_model=alias_model)
+        with _span("dependence", block=block.name):
+            dag = build_dag(block, alias_model=alias_model)
         return self.schedule_dag(dag, block)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -52,6 +52,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..analysis.critical_path import priorities as compute_priorities
 from ..analysis.dag import CodeDAG
 from ..ir.block import BasicBlock
+from ..obs import recorder as _obs
+from ..obs.decisions import Candidate, Decision
 
 Weight = Union[int, Fraction]
 
@@ -272,6 +274,16 @@ class ListScheduler:
         placement: List[int] = []
         bottom_up = self.direction is Direction.BOTTOM_UP
 
+        # Observability: one global read per schedule() call; the
+        # ``rec is None`` branch below is the only per-slot cost when
+        # disabled, keeping the hot path at benchmark speed.
+        rec = _obs.get()
+        block_label = None
+        if rec is not None:
+            block_label = (block.name if block is not None else None) or str(
+                rec.context().get("block", "?")
+            )
+
         while len(placement) < n:
             while pending and pending[0][0] <= time:
                 _, s, v = heappop(pending)
@@ -284,9 +296,15 @@ class ListScheduler:
                 time = next_time
                 continue
 
-            idx = self._select_index(
-                state, ready, prio_rank, static_vals, tie_breaks
-            )
+            if rec is None:
+                idx = self._select_index(
+                    state, ready, prio_rank, static_vals, tie_breaks
+                )
+            else:
+                idx = self._select_observed(
+                    rec, state, ready, prio_rank, static_vals, tie_breaks,
+                    node_priorities, block_label, time, len(placement),
+                )
             chosen = ready.pop(idx)[1]
             state.slot[chosen] = time
             placement.append(chosen)
@@ -363,6 +381,89 @@ class ListScheduler:
             if k > best_key:
                 best_i, best_key = i, k
         return best_i
+
+    def _explain_selection(
+        self,
+        state: _SchedulerState,
+        ready: List[Tuple[int, int]],
+        prio_rank: List[int],
+        static_vals: List[Optional[List]],
+        tie_breaks: Tuple[TieBreak, ...],
+    ) -> Tuple[int, str]:
+        """:meth:`_select_index` with its working shown.
+
+        Returns the winning index *and why it won*: ``only-candidate``,
+        ``priority`` (unique max), ``tie-break:<fn>`` (first tie-break
+        level that singles out one co-leader), or ``discovery-order``
+        (all keys tied exactly; earliest-exposed wins).  Narrowing the
+        co-leader set level by level is the lexicographic key
+        comparison of :meth:`_select_index` unrolled, so both always
+        agree -- the equivalence test holds them together.
+        """
+        if len(ready) == 1:
+            return 0, "only-candidate"
+        best_r = max(prio_rank[node] for _s, node in ready)
+        tied = [
+            (i, node)
+            for i, (_s, node) in enumerate(ready)
+            if prio_rank[node] == best_r
+        ]
+        if len(tied) == 1:
+            return tied[0][0], "priority"
+        for tb, vals in zip(tie_breaks, static_vals):
+            values = [
+                vals[node] if vals is not None else tb(state, node)
+                for _i, node in tied
+            ]
+            best = max(values)
+            tied = [pair for pair, v in zip(tied, values) if v == best]
+            if len(tied) == 1:
+                return tied[0][0], f"tie-break:{tb.__name__}"
+        return tied[0][0], "discovery-order"
+
+    def _select_observed(
+        self,
+        rec,
+        state: _SchedulerState,
+        ready: List[Tuple[int, int]],
+        prio_rank: List[int],
+        static_vals: List[Optional[List]],
+        tie_breaks: Tuple[TieBreak, ...],
+        node_priorities: List[Weight],
+        block_label: str,
+        time: Fraction,
+        step: int,
+    ) -> int:
+        """Selection with metrics (and, if on, the decision log)."""
+        idx, reason = self._explain_selection(
+            state, ready, prio_rank, static_vals, tie_breaks
+        )
+        metrics = rec.metrics
+        metrics.observe("sched.ready_size", len(ready), block=block_label)
+        metrics.inc(
+            "sched.select_reason", 1, block=block_label, reason=reason
+        )
+        log = rec.decisions
+        if log is not None:
+            instructions = state.dag.instructions
+            log.record(
+                Decision(
+                    block=block_label,
+                    step=step,
+                    time=str(time),
+                    chosen=ready[idx][1],
+                    reason=reason,
+                    candidates=tuple(
+                        Candidate(
+                            node=node,
+                            priority=str(node_priorities[node]),
+                            text=str(instructions[node]),
+                        )
+                        for _s, node in ready
+                    ),
+                )
+            )
+        return idx
 
     def _select(
         self,

@@ -14,7 +14,7 @@ from fractions import Fraction
 from typing import Sequence, Union
 
 from ..analysis.dag import CodeDAG
-from .policy import SchedulingPolicy
+from .policy import SchedulingPolicy, observe_load_weights
 from .scheduler import DEFAULT_TIE_BREAKS, Direction, TieBreak
 
 Latency = Union[int, float, Fraction]
@@ -50,3 +50,7 @@ class TraditionalScheduler(SchedulingPolicy):
         """Every load gets the same implementation-defined weight."""
         for node in dag.load_nodes():
             dag.set_weight(node, self.optimistic_latency)
+        observe_load_weights(
+            self.name,
+            {node: self.optimistic_latency for node in dag.load_nodes()},
+        )

@@ -49,6 +49,9 @@ from ..core.traditional import TraditionalScheduler
 from ..ir.block import Program
 from ..machine.config import SystemRow
 from ..machine.processor import ProcessorModel, UNLIMITED
+from ..obs import recorder as _obs
+from ..obs.metrics import MetricsRegistry, summarize_delta
+from ..obs.recorder import span as _span
 from ..regalloc.target import DEFAULT_REGISTER_FILE, RegisterFile
 from ..simulate.program import DEFAULT_RUNS, ProgramRuns, simulate_program
 from ..simulate.rng import DEFAULT_SEED, spawn
@@ -206,12 +209,34 @@ class ProgramEvaluator:
     def cell(
         self, row: SystemRow, processor: ProcessorModel = UNLIMITED
     ) -> CellResult:
-        """Evaluate one table cell (compile if needed, simulate, bootstrap)."""
-        balanced = self.balanced()
-        traditional = self.traditional(row.optimistic_latency)
+        """Evaluate one table cell (compile if needed, simulate, bootstrap).
 
-        trad_runs = self._simulate(traditional, row, processor, "traditional")
-        bal_runs = self._simulate(balanced, row, processor, "balanced")
+        The ``cell`` span's args (program/system/processor) become the
+        ambient labels every metric recorded below it carries -- see
+        :meth:`repro.obs.recorder.Recorder.context`.
+        """
+        with _span(
+            "cell",
+            program=self.program.name,
+            system=row.label,
+            processor=processor.name,
+        ):
+            return self._cell(row, processor)
+
+    def _cell(
+        self, row: SystemRow, processor: ProcessorModel
+    ) -> CellResult:
+        with _span("compile", policy="balanced"):
+            balanced = self.balanced()
+        with _span("compile", policy="traditional"):
+            traditional = self.traditional(row.optimistic_latency)
+
+        with _span("simulate_program", policy="traditional"):
+            trad_runs = self._simulate(
+                traditional, row, processor, "traditional"
+            )
+        with _span("simulate_program", policy="balanced"):
+            bal_runs = self._simulate(balanced, row, processor, "balanced")
 
         boot_rng = spawn(
             "boot",
@@ -221,9 +246,14 @@ class ProgramEvaluator:
             processor.name,
             seed=self.seed,
         )
-        t_boot = program_bootstrap_runtimes(trad_runs, boot_rng, self.n_boot)
-        b_boot = program_bootstrap_runtimes(bal_runs, boot_rng, self.n_boot)
-        improvement = percentage_improvement(t_boot, b_boot)
+        with _span("bootstrap"):
+            t_boot = program_bootstrap_runtimes(
+                trad_runs, boot_rng, self.n_boot
+            )
+            b_boot = program_bootstrap_runtimes(
+                bal_runs, boot_rng, self.n_boot
+            )
+            improvement = percentage_improvement(t_boot, b_boot)
 
         return CellResult(
             program=self.program.name,
@@ -397,30 +427,47 @@ def _evaluate_cell(spec: CellSpec) -> CellResult:
     return evaluator.cell(spec.system, spec.processor)
 
 
-#: One timed cell as it crosses back from a worker.
-_TimedCell = Tuple[CellResult, float, int]
+#: One timed cell as it crosses back from a worker: result, wall
+#: seconds, worker pid, and (with obs on) the cell's metrics delta.
+_TimedCell = Tuple[CellResult, float, int, Optional[dict]]
 
 
 def _evaluate_group_timed(specs: Sequence[CellSpec]) -> List[_TimedCell]:
     """Worker entry point: evaluate one compile-sharing group of cells,
-    returning ``(cell, wall_seconds, worker_pid)`` triples for the
-    manifest.  Deterministic per-cell failures are wrapped so the
-    parent knows exactly which spec died."""
+    returning ``(cell, wall_seconds, worker_pid, metrics_delta)``
+    tuples for the manifest.  Deterministic per-cell failures are
+    wrapped so the parent knows exactly which spec died.
+
+    With observability on, each cell's metrics are captured as a
+    snapshot delta around its evaluation -- that delta is what crosses
+    the process boundary, gets folded into the parent's registry, and
+    is summarised onto the cell's manifest record.  (Workers inherit
+    the enabled recorder by forking; spans recorded in workers stay
+    worker-local.)
+    """
     out: List[_TimedCell] = []
+    rec = _obs.get()
     for spec in specs:
         _maybe_inject_fault(spec)
+        before = rec.metrics.snapshot() if rec is not None else None
         start = time.perf_counter()
         try:
             cell = _evaluate_cell(spec)
         except Exception as exc:
             raise CellEvaluationError(spec, exc) from exc
-        out.append((cell, time.perf_counter() - start, os.getpid()))
+        wall = time.perf_counter() - start
+        delta = (
+            MetricsRegistry.delta(before, rec.metrics.snapshot())
+            if rec is not None
+            else None
+        )
+        out.append((cell, wall, os.getpid(), delta))
     return out
 
 
 def _evaluate_group(specs: Sequence[CellSpec]) -> List[CellResult]:
     """Worker entry point: evaluate one compile-sharing group of cells."""
-    return [cell for cell, _, _ in _evaluate_group_timed(specs)]
+    return [cell for cell, _, _, _ in _evaluate_group_timed(specs)]
 
 
 #: Lazily created, reused across evaluate_cells calls (so `run all`
@@ -468,12 +515,16 @@ class PoolMapStats:
     ``pool_rebuilds`` counts pool breakages survived; ``inline_items``
     counts items that exhausted the retry budget and ran in-process;
     ``item_attempts[i]`` is how many times item ``i`` was re-dispatched
-    after a breakage (0 for items that succeeded first try).
+    after a breakage (0 for items that succeeded first try);
+    ``last_error`` is the repr of the most recent pool-breaking
+    exception, so a manifest ``pool_downgrade`` record can say *why*
+    the pool was abandoned.
     """
 
     pool_rebuilds: int = 0
     inline_items: int = 0
     item_attempts: Dict[int, int] = field(default_factory=dict)
+    last_error: Optional[str] = None
 
 
 def pool_map(
@@ -533,8 +584,9 @@ def pool_map(
             index = futures[future]
             try:
                 results[index] = future.result()
-            except BrokenExecutor:
+            except BrokenExecutor as exc:
                 broken.append(index)
+                stats.last_error = repr(exc)
             except Exception as exc:
                 # Deterministic failure: the pool is healthy, keep it.
                 if isinstance(exc, CellEvaluationError):
@@ -617,7 +669,7 @@ def evaluate_cells(
     out: List[Optional[CellResult]] = [None] * len(specs)
 
     def record(spec: CellSpec, wall: float, worker: int, status: str,
-               retried: int) -> None:
+               retried: int, metrics: Optional[dict] = None) -> None:
         if manifest is not None:
             manifest.record_cell(
                 key=cell_key(spec),
@@ -628,6 +680,7 @@ def evaluate_cells(
                 worker=worker,
                 cache=status,
                 retries=retried,
+                metrics=metrics,
             )
 
     missing: List[int] = []
@@ -642,13 +695,20 @@ def evaluate_cells(
         return out
 
     if jobs == 1 or len(missing) <= 1:
+        rec = _obs.get()
         for index in missing:
+            before = rec.metrics.snapshot() if rec is not None else None
             start = time.perf_counter()
             out[index] = _evaluate_cell(specs[index])
+            wall = time.perf_counter() - start
+            summary = None
+            if rec is not None:
+                delta = MetricsRegistry.delta(before, rec.metrics.snapshot())
+                summary = summarize_delta(delta) or None
             if cache is not None:
                 cache.put(specs[index], out[index])
-            record(specs[index], time.perf_counter() - start,
-                   os.getpid(), "miss", 0)
+            record(specs[index], wall, os.getpid(), "miss", 0,
+                   metrics=summary)
         return out
 
     groups: Dict[tuple, List[int]] = {}
@@ -677,19 +737,35 @@ def evaluate_cells(
     tasks = [[specs[i] for i in batch] for batch in batches]
     stats = PoolMapStats()
 
+    parent_rec = _obs.get()
+    parent_pid = os.getpid()
+
     def consume(batch_pos: int, timed: List[_TimedCell]) -> None:
         # Runs as each batch completes: checkpoint immediately so a
         # later crash cannot lose this batch.
         retried = stats.item_attempts.get(batch_pos, 0)
-        for index, (cell, wall, worker) in zip(batches[batch_pos], timed):
+        for index, (cell, wall, worker, delta) in zip(
+            batches[batch_pos], timed
+        ):
             out[index] = cell
             if cache is not None:
                 cache.put(specs[index], cell)
-            record(specs[index], wall, worker, "miss", retried)
+            summary = None
+            if delta is not None:
+                # Fold worker-recorded metrics into the parent registry
+                # so --metrics-out is complete for any --jobs (inline
+                # degraded items already recorded into it directly).
+                if parent_rec is not None and worker != parent_pid:
+                    parent_rec.metrics.merge(delta)
+                summary = summarize_delta(delta) or None
+            record(specs[index], wall, worker, "miss", retried,
+                   metrics=summary)
 
     pool_map(
         _evaluate_group_timed, tasks, jobs, stats=stats, on_result=consume
     )
     if stats.inline_items and manifest is not None:
-        manifest.record_pool_downgrade(stats.inline_items)
+        manifest.record_pool_downgrade(
+            stats.inline_items, cause=stats.last_error
+        )
     return out

@@ -17,7 +17,12 @@ added, readers must ignore unknown keys):
     ``run_id, experiment, git, seed, runs, jobs, resume, started``
 ``cell``
     ``run_id, key, program, system, processor, wall_s, worker,
-    cache ("hit"|"miss"), retries``
+    cache ("hit"|"miss"), retries`` -- plus, when the run was made
+    with ``--obs``, a ``metrics`` object (compact per-cell counter /
+    histogram summary from :func:`repro.obs.metrics.summarize_delta`)
+``pool_downgrade``
+    ``run_id, items`` -- plus ``cause`` (repr of the pool-breaking
+    exception) when known
 ``run_end``
     ``run_id, experiment, status ("ok"|"interrupted"|"failed"),
     wall_s, cells, hits, misses, retries, inline``
@@ -111,36 +116,48 @@ class ManifestWriter:
         worker: int,
         cache: str,
         retries: int = 0,
+        metrics: Optional[dict] = None,
     ) -> None:
         self._counts["cells"] = self._counts.get("cells", 0) + 1
         bucket = "hits" if cache == "hit" else "misses"
         self._counts[bucket] = self._counts.get(bucket, 0) + 1
         self._counts["retries"] = self._counts.get("retries", 0) + retries
-        self._append(
-            {
-                "event": "cell",
-                "run_id": self._run_id,
-                "key": key,
-                "program": program,
-                "system": system,
-                "processor": processor,
-                "wall_s": round(wall_s, 6),
-                "worker": worker,
-                "cache": cache,
-                "retries": retries,
-            }
-        )
+        record = {
+            "event": "cell",
+            "run_id": self._run_id,
+            "key": key,
+            "program": program,
+            "system": system,
+            "processor": processor,
+            "wall_s": round(wall_s, 6),
+            "worker": worker,
+            "cache": cache,
+            "retries": retries,
+        }
+        # Only present on --obs runs, so obs-off manifests are
+        # byte-compatible with earlier versions.
+        if metrics is not None:
+            record["metrics"] = metrics
+        self._append(record)
 
-    def record_pool_downgrade(self, items: int) -> None:
-        """A batch exhausted its pool retries and ran inline."""
+    def record_pool_downgrade(
+        self, items: int, cause: Optional[str] = None
+    ) -> None:
+        """A batch exhausted its pool retries and ran inline.
+
+        ``cause`` is the repr of the exception that broke the pool
+        (when known), so the manifest can answer *why* the downgrade
+        happened, not just that it did.
+        """
         self._counts["inline"] = self._counts.get("inline", 0) + items
-        self._append(
-            {
-                "event": "pool_downgrade",
-                "run_id": self._run_id,
-                "items": items,
-            }
-        )
+        record = {
+            "event": "pool_downgrade",
+            "run_id": self._run_id,
+            "items": items,
+        }
+        if cause is not None:
+            record["cause"] = cause
+        self._append(record)
 
     def end_run(self, *, wall_s: float, status: str = "ok") -> None:
         self._append(

@@ -1,12 +1,24 @@
 """Command-line entry point.
 
-Installed as ``balanced-sched``.  Four modes:
+Installed as ``balanced-sched``.  Six modes:
 
 Regenerate a paper artifact (the bare form is shorthand for ``run``)::
 
     balanced-sched table2
     balanced-sched run table2 --format csv
+    balanced-sched run table2 --obs --trace-out trace.json --metrics-out m.json
     balanced-sched all
+
+Profile an experiment with the observability layer on (phase timings,
+hottest stalled loads, scheduler tie-break pressure)::
+
+    balanced-sched profile table2 --quick --programs ADM
+
+Explain, step by step, why the balanced and traditional schedulers
+order a block differently (diffable decision logs)::
+
+    balanced-sched explain ADM
+    balanced-sched explain kernel.mf --block kernel0
 
 Compile a minif source file and print both schedulers' output::
 
@@ -29,7 +41,15 @@ Summarise the most recent recorded run(s) from the manifest log::
     balanced-sched manifest --last 8
 
 Common options: ``--seed`` (root RNG seed), ``--runs`` (simulation runs
-per block; the paper uses 30), ``--quick`` (3 runs).
+per block; the paper uses 30), ``--quick`` (3 runs).  Global ``-v`` /
+``-q`` raise/lower the ``repro.*`` logging verbosity on stderr
+(diagnostics only -- results always go to stdout).
+
+Observability: ``run --obs`` (implied by ``--trace-out`` /
+``--metrics-out``) records hierarchical spans, metrics and stall
+attribution for the whole run at a cost of roughly one dict update per
+instrumented event; the trace JSON loads directly into Perfetto
+(https://ui.perfetto.dev).  See docs/observability.md.
 
 Crash safety: ``run`` checkpoints every finished cell to an on-disk
 result cache (``results/cache`` by default) and appends what ran to
@@ -42,11 +62,15 @@ docs/performance.md ("Crash safety and resume").
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..obs import recorder as _obs
+from ..obs.export import phase_summary, write_chrome_trace, write_metrics
+from ..obs.metrics import MetricsRegistry, split_series_key
 from ..simulate.rng import DEFAULT_SEED
 from .ablations import run_all_ablations
 from .cache import ResultCache, default_cache_dir
@@ -60,6 +84,8 @@ from .table2 import run_table2
 from .table3 import run_table3
 from .table4 import run_table4
 from .table5 import run_table5
+
+logger = logging.getLogger("repro.experiments.runner")
 
 EXPERIMENTS: List[str] = [
     "figure2",
@@ -76,7 +102,13 @@ EXPERIMENTS: List[str] = [
 _EXPORTABLE = {"figure3", "table1", "table2", "table3", "table4", "table5"}
 
 
-def _dispatch(name: str, seed: int, runs: int, jobs: int = 1):
+def _dispatch(
+    name: str,
+    seed: int,
+    runs: int,
+    jobs: int = 1,
+    programs: Optional[List[str]] = None,
+):
     if name == "figure2":
         return run_figure2()
     if name == "figure3":
@@ -84,7 +116,7 @@ def _dispatch(name: str, seed: int, runs: int, jobs: int = 1):
     if name == "table1":
         return run_table1()
     if name == "table2":
-        return run_table2(seed=seed, runs=runs, jobs=jobs)
+        return run_table2(seed=seed, runs=runs, jobs=jobs, programs=programs)
     if name == "table3":
         return run_table3(seed=seed, runs=runs, jobs=jobs)
     if name == "table4":
@@ -97,6 +129,47 @@ def _dispatch(name: str, seed: int, runs: int, jobs: int = 1):
 
 
 # ----------------------------------------------------------------------
+# Logging (the -v/-q switches)
+# ----------------------------------------------------------------------
+class _StderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` currently is.
+
+    Resolving the stream at emit time (instead of capturing it at
+    handler creation like ``StreamHandler``) keeps the handler valid
+    when the surrounding process swaps stderr -- pytest's capture does
+    exactly that between tests.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - last-ditch
+            self.handleError(record)
+
+
+def _configure_logging(verbose: int, quiet: int) -> None:
+    """Configure the ``repro`` logger tree once, for the whole CLI.
+
+    Diagnostics (clamp notes, retry warnings, timing chatter) go to
+    stderr through here; experiment results are printed to stdout and
+    never pass through logging.  Default level is WARNING; each ``-v``
+    drops a level, each ``-q`` raises one.  Propagation to the root
+    logger stays on (the handler is ours, so nothing double-prints
+    unless the embedding application configures the root itself).
+    """
+    root = logging.getLogger("repro")
+    level = logging.WARNING - 10 * verbose + 10 * quiet
+    root.setLevel(max(logging.DEBUG, min(logging.CRITICAL, level)))
+    if not any(getattr(h, "_repro_cli", False) for h in root.handlers):
+        handler = _StderrHandler()
+        handler.setFormatter(
+            logging.Formatter("  [%(levelname)s %(name)s] %(message)s")
+        )
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+
+
+# ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 def _usable_cores() -> int:
@@ -104,6 +177,52 @@ def _usable_cores() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def _parse_programs(args: argparse.Namespace) -> Optional[List[str]]:
+    """Validate a ``--programs`` subset against the Perfect Club suite."""
+    text = getattr(args, "programs", None)
+    if text is None:
+        return None
+    from ..workloads.perfect import program_names
+
+    if args.experiment not in ("table2",):
+        print(
+            f"--programs applies to table2 only "
+            f"(got {args.experiment!r})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    known = program_names()
+    names = [n for n in (part.strip() for part in text.split(",")) if n]
+    unknown = [n for n in names if n not in known]
+    if not names or unknown:
+        print(
+            f"unknown program(s) {unknown or [text]}; "
+            f"choose from {known}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return names
+
+
+def _wants_obs(args: argparse.Namespace) -> bool:
+    return bool(args.obs or args.trace_out or args.metrics_out)
+
+
+def _finish_obs(rec, args: argparse.Namespace) -> None:
+    """Export what a recorder collected (also runs on interrupt)."""
+    if args.trace_out:
+        path = write_chrome_trace(args.trace_out, rec)
+        logger.info(
+            "wrote Chrome trace to %s (load it in https://ui.perfetto.dev)",
+            path,
+        )
+    if args.metrics_out:
+        path = write_metrics(args.metrics_out, rec.metrics)
+        logger.info("wrote metrics to %s", path)
+    print()
+    print(phase_summary(rec))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -114,54 +233,230 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Worker processes timeshare cores; oversubscribing a small
         # machine only adds fork/pickle overhead.  Results do not
         # depend on the worker count, so clamping is safe.
-        print(
-            f"  [--jobs {jobs} clamped to {cores} usable core(s)]",
-            file=sys.stderr,
-        )
+        logger.warning("--jobs %d clamped to %d usable core(s)", jobs, cores)
         jobs = cores
+    programs = _parse_programs(args)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     manifest = ManifestWriter(args.manifest)
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
+    # Enable *before* any work so lazily-forked pool workers inherit
+    # the recorder (their metrics come back as per-cell deltas).
+    rec = _obs.enable() if _wants_obs(args) else None
     timings = []
-    with engine_session(cache=cache, manifest=manifest, resume=args.resume):
-        for name in names:
-            start = time.time()
-            manifest.start_run(
-                name, seed=args.seed, runs=runs, jobs=jobs,
-                resume=args.resume,
-            )
-            try:
-                result = _dispatch(name, args.seed, runs, jobs)
-            except KeyboardInterrupt:
+    try:
+        with engine_session(cache=cache, manifest=manifest, resume=args.resume):
+            for name in names:
+                start = time.time()
+                manifest.start_run(
+                    name, seed=args.seed, runs=runs, jobs=jobs,
+                    resume=args.resume,
+                )
+                try:
+                    result = _dispatch(name, args.seed, runs, jobs, programs)
+                except KeyboardInterrupt:
+                    elapsed = time.time() - start
+                    manifest.end_run(wall_s=elapsed, status="interrupted")
+                    logger.warning(
+                        "interrupted during %s after %.1fs; finished cells "
+                        "are checkpointed -- re-run the same command to "
+                        "resume", name, elapsed,
+                    )
+                    return 130
+                except BaseException:
+                    manifest.end_run(
+                        wall_s=time.time() - start, status="failed"
+                    )
+                    raise
                 elapsed = time.time() - start
-                manifest.end_run(wall_s=elapsed, status="interrupted")
-                print(
-                    f"\n  [interrupted during {name} after {elapsed:.1f}s; "
-                    "finished cells are checkpointed -- re-run the same "
-                    "command to resume]",
-                    file=sys.stderr,
-                )
-                return 130
-            except BaseException:
-                manifest.end_run(
-                    wall_s=time.time() - start, status="failed"
-                )
-                raise
+                manifest.end_run(wall_s=elapsed, status="ok")
+                timings.append((name, elapsed))
+                if args.format != "text" and name in _EXPORTABLE:
+                    print(export(result, args.format))
+                else:
+                    print(result.format())
+                print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
+        if len(names) > 1:
+            total = sum(elapsed for _, elapsed in timings)
+            logger.info("timing summary (--jobs %d):", jobs)
+            for name, elapsed in timings:
+                logger.info("  %-10s %6.1fs", name, elapsed)
+            logger.info("  %-10s %6.1fs", "total", total)
+        return 0
+    finally:
+        if rec is not None:
+            _obs.disable()
+            _finish_obs(rec, args)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one experiment under the observability layer and report
+    where the time and the stall cycles went (no caching: a profile
+    must measure real work, not replay)."""
+    runs = 3 if args.quick else args.runs
+    programs = _parse_programs(args)
+    # Process-level memos would replay compilation (and skip the
+    # frontend entirely), leaving the profile with nothing but
+    # simulation; drop them so every phase does real work.
+    from ..workloads.perfect import clear_cache
+    from .common import COMPILATION_CACHE
+
+    clear_cache()
+    COMPILATION_CACHE.clear()
+    rec = _obs.enable()
+    try:
+        with engine_session(cache=None, manifest=None, resume=False):
+            start = time.time()
+            _dispatch(args.experiment, args.seed, runs, args.jobs, programs)
             elapsed = time.time() - start
-            manifest.end_run(wall_s=elapsed, status="ok")
-            timings.append((name, elapsed))
-            if args.format != "text" and name in _EXPORTABLE:
-                print(export(result, args.format))
-            else:
-                print(result.format())
-            print(f"\n  [{name} regenerated in {elapsed:.1f}s]\n")
-    if len(names) > 1:
-        total = sum(elapsed for _, elapsed in timings)
-        print(f"  timing summary (--jobs {jobs}):")
-        for name, elapsed in timings:
-            print(f"    {name:10s} {elapsed:6.1f}s")
-        print(f"    {'total':10s} {total:6.1f}s")
+    finally:
+        _obs.disable()
+    print(f"profile: {args.experiment} "
+          f"(seed {args.seed}, {runs} runs, {elapsed:.1f}s)\n")
+    print(phase_summary(rec))
+    print()
+    print(_profile_report(rec.metrics, top=args.top))
+    if args.trace_out:
+        path = write_chrome_trace(args.trace_out, rec)
+        logger.info(
+            "wrote Chrome trace to %s (load it in https://ui.perfetto.dev)",
+            path,
+        )
+    if args.metrics_out:
+        path = write_metrics(args.metrics_out, rec.metrics)
+        logger.info("wrote metrics to %s", path)
     return 0
+
+
+def _profile_report(metrics: MetricsRegistry, top: int = 10) -> str:
+    """The ``profile`` payload below the phase table: tie-break
+    pressure and the hottest stalled loads, straight from the
+    registry's exact histograms."""
+    lines: List[str] = []
+
+    reasons: Dict[str, float] = {}
+    for key, value in metrics.counters.items():
+        base, labels = split_series_key(key)
+        if base == "sched.select_reason":
+            reason = labels.get("reason", "?")
+            reasons[reason] = reasons.get(reason, 0) + value
+    if reasons:
+        lines.append("scheduler selection reasons:")
+        width = max(len(reason) for reason in reasons)
+        for reason in sorted(reasons, key=lambda r: (-reasons[r], r)):
+            lines.append(f"  {reason:<{width}}  {int(reasons[reason]):>10,}")
+        lines.append("")
+
+    rows = []
+    for key, hist in metrics.histograms.items():
+        base, labels = split_series_key(key)
+        if base != "sim.load_stall_cycles":
+            continue
+        rows.append((
+            MetricsRegistry.histogram_total(hist),
+            MetricsRegistry.histogram_count(hist),
+            labels,
+        ))
+    if rows:
+        rows.sort(key=lambda row: (-row[0], sorted(row[2].items())))
+        lines.append("hottest loads (stall cycles summed over all runs):")
+        for total, count, labels in rows[:top]:
+            where = "/".join(
+                part for part in
+                (labels.get("program"), labels.get("block")) if part
+            )
+            lines.append(
+                f"  {int(total):>10,} cycles  {count:>8,} stalls  "
+                f"{where} load #{labels.get('load', '?')}  "
+                f"[{labels.get('policy', '?')} @ {labels.get('system', '?')}]"
+            )
+        if len(rows) > top:
+            lines.append(f"  ... and {len(rows) - top} more load sites")
+        lines.append("")
+
+    skipped = sum(
+        value for key, value in metrics.counters.items()
+        if split_series_key(key)[0] == "sim.attribution_skipped"
+    )
+    if skipped:
+        lines.append(
+            f"note: {int(skipped):,} run(s) on multi-issue or blocking "
+            "processors are counted but not attributed per load"
+        )
+    if not lines:
+        lines.append("(no scheduler/simulator metrics recorded)")
+    return "\n".join(lines).rstrip()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Schedule each block under both policies with decision logging on
+    and show why their step-by-step choices diverge."""
+    from ..core.balanced import BalancedScheduler
+    from ..core.pipeline import compile_block
+    from ..core.traditional import TraditionalScheduler
+    from ..obs.decisions import DecisionLog
+
+    program = _load_program_argument(args.program)
+    blocks = [block for function in program for block in function]
+    if args.block is not None:
+        names = [block.name for block in blocks]
+        blocks = [block for block in blocks if block.name == args.block]
+        if not blocks:
+            print(
+                f"no block named {args.block!r}; choose from {names}",
+                file=sys.stderr,
+            )
+            return 2
+    trad_label = f"traditional W={args.latency:g}"
+    for block in blocks:
+        logs: Dict[str, DecisionLog] = {}
+        for tag, policy in (
+            ("balanced", BalancedScheduler()),
+            (trad_label, TraditionalScheduler(args.latency)),
+        ):
+            # register_file=None: explain the *scheduling* decisions on
+            # the virtual-register code, without regalloc's pass-2
+            # rewrites muddying the diff.
+            with _obs.recording(decisions=True) as rec:
+                compile_block(block, policy, register_file=None)
+            logs[tag] = rec.decisions
+        print(f"==== {block.name} ({len(block)} instructions)")
+        for tag, log in logs.items():
+            counts = log.counts_by_reason()
+            rendered = ", ".join(f"{r}={c}" for r, c in counts.items())
+            print(f"  {tag:20s} {rendered}")
+        diff = DecisionLog.diff(
+            logs["balanced"], logs[trad_label],
+            "balanced", trad_label,
+            block=block.name, context=args.context,
+        )
+        if args.full:
+            for tag, log in logs.items():
+                print(f"\n-- decision log: {tag}")
+                print("\n".join(log.render(block=block.name)))
+        elif diff:
+            print()
+            print("\n".join(diff))
+        else:
+            print("  (both policies make identical step-by-step choices)")
+        print()
+    return 0
+
+
+def _load_program_argument(text: str):
+    """``explain`` accepts a minif file path or a Perfect Club name."""
+    if os.path.exists(text):
+        return _compile_file(text)
+    from ..workloads.perfect import load_program, program_names
+
+    try:
+        return load_program(text)
+    except KeyError:
+        print(
+            f"{text!r} is neither a file nor a known program; "
+            f"programs: {program_names()}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
 
 
 def _cmd_manifest(args: argparse.Namespace) -> int:
@@ -283,6 +578,22 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON of the run's spans "
+        "(loadable in Perfetto); implies --obs",
+    )
+    sub.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics registry as JSON; implies --obs",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="balanced-sched",
@@ -290,6 +601,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "Balanced Scheduling (Kerns & Eggers, PLDI 1993): regenerate "
             "the paper, or compile and trace your own minif kernels"
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more stderr diagnostics (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="fewer stderr diagnostics (repeatable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -306,8 +625,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "bit-identical for any value)",
     )
     run.add_argument(
+        "--programs",
+        default=None,
+        help="comma-separated subset of Perfect Club programs "
+        "(table2 only), e.g. --programs ADM,MDG",
+    )
+    run.add_argument(
         "--format", choices=["text", "csv", "markdown"], default="text"
     )
+    run.add_argument(
+        "--obs",
+        action="store_true",
+        help="record spans/metrics/stall attribution for the whole run "
+        "and print a phase summary at the end",
+    )
+    _add_obs_arguments(run)
     run.add_argument(
         "--resume",
         dest="resume",
@@ -340,6 +672,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "default results/manifest.jsonl)",
     )
     run.set_defaults(handler=_cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment with observability on and report "
+        "phase timings, tie-break pressure and the hottest loads",
+    )
+    profile.add_argument("experiment", choices=EXPERIMENTS)
+    profile.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    profile.add_argument("--runs", type=_positive_int, default=30)
+    profile.add_argument(
+        "--quick", action="store_true", help="3-run smoke pass"
+    )
+    profile.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes (note: spans recorded in workers stay "
+        "worker-local; profile with --jobs 1 for complete phase "
+        "timings -- metrics come back for any value)",
+    )
+    profile.add_argument(
+        "--programs",
+        default=None,
+        help="comma-separated subset of Perfect Club programs "
+        "(table2 only)",
+    )
+    profile.add_argument(
+        "--top", type=_positive_int, default=10,
+        help="stalled load sites to list",
+    )
+    _add_obs_arguments(profile)
+    profile.set_defaults(handler=_cmd_profile)
+
+    explain = sub.add_parser(
+        "explain",
+        help="diff the two schedulers' step-by-step decisions on a "
+        "program's blocks",
+    )
+    explain.add_argument(
+        "program",
+        help="a minif source file or a Perfect Club program name",
+    )
+    explain.add_argument(
+        "--block", default=None, help="explain only this block"
+    )
+    explain.add_argument(
+        "--latency",
+        type=float,
+        default=2,
+        help="optimistic latency for the traditional baseline",
+    )
+    explain.add_argument(
+        "--context", type=_positive_int, default=3,
+        help="unified-diff context lines",
+    )
+    explain.add_argument(
+        "--full",
+        action="store_true",
+        help="print both full decision logs instead of the diff",
+    )
+    explain.set_defaults(handler=_cmd_explain)
 
     manifest = sub.add_parser(
         "manifest", help="summarise the most recent recorded run(s)"
@@ -398,13 +791,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_VERBOSITY_FLAGS = ("-v", "--verbose", "-q", "--quiet")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # Bare experiment names are shorthand for `run <experiment>`.
-    if argv and argv[0] in EXPERIMENTS + ["all"]:
-        argv = ["run"] + argv
+    # Bare experiment names are shorthand for `run <experiment>`; any
+    # leading -v/-q flags may precede the name.
+    head = 0
+    while head < len(argv) and argv[head] in _VERBOSITY_FLAGS:
+        head += 1
+    if head < len(argv) and argv[head] in EXPERIMENTS + ["all"]:
+        argv.insert(head, "run")
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     return args.handler(args)
 
 

@@ -101,7 +101,10 @@ class Table2Result:
         }
 
     def format(self) -> str:
-        names = program_names()
+        # Use the programs actually evaluated (run_table2 may have been
+        # given a subset), in suite order.
+        present = set(self.rows[0].cells) if self.rows else set()
+        names = [n for n in program_names() if n in present]
         header = f"  {'system':22s}" + "".join(f"{n:>8s}" for n in names)
         header += f"{'mean':>8s}{'paper':>8s}"
         lines = [

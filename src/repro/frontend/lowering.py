@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..ir.block import BasicBlock, Function, Program
 from ..ir.instructions import Instruction, Opcode, alu, li, load, store
 from ..ir.operands import MemRef, RegClass, Register, VirtualReg
+from ..obs.recorder import span as _span
 from .ast import (
     ArrayRef,
     Assign,
@@ -238,12 +239,15 @@ def lower_ast(ast: ProgramAST, pointer_loads: bool = True) -> Program:
         meta={"kernels": len(ast.kernels), "pointer_loads": pointer_loads},
     )
     for kernel in ast.kernels:
-        function = Function(name=kernel.name)
-        _KernelLowering(function, kernel, ast.arrays, pointer_loads).lower()
-        program.add_function(function)
+        with _span("frontend", block=kernel.name):
+            function = Function(name=kernel.name)
+            _KernelLowering(function, kernel, ast.arrays, pointer_loads).lower()
+            program.add_function(function)
     return program
 
 
 def compile_minif(source: str, pointer_loads: bool = True) -> Program:
     """Parse and lower minif source text in one step."""
-    return lower_ast(parse_program(source), pointer_loads)
+    with _span("parse"):
+        ast = parse_program(source)
+    return lower_ast(ast, pointer_loads)

@@ -1,0 +1,179 @@
+"""Exports: Chrome ``trace_event`` JSON, phase summaries, metrics JSON.
+
+The Chrome trace format is the JSON-array flavour documented by the
+Trace Event Format spec and consumed by ``chrome://tracing`` and
+Perfetto (https://ui.perfetto.dev): a ``traceEvents`` list of complete
+(``"ph": "X"``) events with microsecond ``ts``/``dur``.  Spans from a
+:class:`~repro.obs.recorder.Recorder` map 1:1 onto complete events;
+pid/tid are fixed (the pipeline records spans from one thread), and
+events are emitted in span-open order, so with a pinned clock the
+whole file is byte-deterministic -- the golden tests rely on that.
+
+:func:`validate_chrome_trace` is the schema check CI runs against
+emitted traces; it accepts exactly what this module emits and flags
+anything Perfetto would choke on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .metrics import MetricsRegistry
+from .recorder import Recorder
+
+#: Fixed process/thread ids for emitted events (single-threaded spans).
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(recorder: Recorder) -> dict:
+    """Render the recorder's spans as a Chrome trace_event object."""
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "args": {"name": "balanced-sched"},
+        }
+    ]
+    for span in sorted(recorder.spans, key=lambda s: s.index):
+        events.append(
+            {
+                "name": span.name,
+                "cat": "/".join(span.path[:-1]) or "root",
+                "ph": "X",
+                "ts": span.start_ns / 1000,
+                "dur": span.duration_ns / 1000,
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": {str(k): _jsonable(v) for k, v in span.args},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Union[str, Path], recorder: Recorder) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(recorder), indent=1) + "\n")
+    return path
+
+
+def validate_chrome_trace(data: object) -> List[str]:
+    """Schema-check a trace object; returns problems (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["trace is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing event name")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "B", "E", "i"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: {field} must be an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}: {field} must be a non-negative number"
+                    )
+    return problems
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Plain-text phase summary
+# ----------------------------------------------------------------------
+def phase_summary(recorder: Recorder) -> str:
+    """Aggregate spans into an indented per-phase timing table.
+
+    Rows are span *paths* (so ``compile_block > schedule`` and a
+    top-level ``schedule`` stay distinct), in first-open order; ``self``
+    is the phase's own time with direct children subtracted.
+    """
+    Agg = Tuple[int, int, int]  # count, total_ns, first_index
+    aggregate: Dict[Tuple[str, ...], Agg] = {}
+    for span in recorder.spans:
+        count, total, first = aggregate.get(span.path, (0, 0, span.index))
+        aggregate[span.path] = (
+            count + 1, total + span.duration_ns, min(first, span.index)
+        )
+
+    child_totals: Dict[Tuple[str, ...], int] = {}
+    for path, (_count, total, _first) in aggregate.items():
+        if len(path) > 1:
+            parent = path[:-1]
+            child_totals[parent] = child_totals.get(parent, 0) + total
+
+    header = f"{'phase':<40} {'count':>7} {'total':>12} {'self':>12}"
+    lines = [header, "-" * len(header)]
+    for path in sorted(aggregate, key=lambda p: aggregate[p][2]):
+        count, total, _first = aggregate[path]
+        self_ns = total - child_totals.get(path, 0)
+        name = "  " * (len(path) - 1) + path[-1]
+        lines.append(
+            f"{name:<40} {count:>7} {_ms(total):>12} {_ms(self_ns):>12}"
+        )
+    if len(lines) == 2:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def _ms(ns: int) -> str:
+    return f"{ns / 1e6:.3f}ms"
+
+
+# ----------------------------------------------------------------------
+# Metrics JSON
+# ----------------------------------------------------------------------
+def metrics_json(metrics: MetricsRegistry) -> dict:
+    """Render a registry as a sorted, JSON-safe object.
+
+    Histogram keys (observed values) become strings because JSON keys
+    must be; readers sort them numerically via ``float(key)``.
+    """
+    return {
+        "counters": {k: metrics.counters[k] for k in sorted(metrics.counters)},
+        "gauges": {k: metrics.gauges[k] for k in sorted(metrics.gauges)},
+        "histograms": {
+            key: {
+                str(value): hist[value]
+                for value in sorted(hist, key=float)
+            }
+            for key, hist in sorted(metrics.histograms.items())
+        },
+    }
+
+
+def write_metrics(
+    path: Union[str, Path], metrics: MetricsRegistry
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(metrics_json(metrics), indent=1) + "\n")
+    return path

@@ -1,0 +1,226 @@
+"""The metrics registry: counters, gauges and exact histograms.
+
+Metrics are identified by a base name plus optional labels; the pair
+is flattened into a single Prometheus-style series key with sorted
+label order (``sim.load_stall_cycles{block=vdiff,load=3}``), so a
+registry is a plain dict and every export is deterministic.
+
+Three instrument kinds:
+
+* **counters** -- monotonically accumulated numbers (cycle totals,
+  spill counts);
+* **gauges** -- last-write-wins values (configuration echoes, sizes);
+* **histograms** -- *exact* value -> occurrence-count maps rather than
+  bucketed approximations.  Stall attributions and latency draws are
+  small integers, so exact histograms stay compact while letting the
+  totals reconcile to the cycle counters without rounding -- the
+  property the observability acceptance tests rely on.
+
+Registries support ``snapshot`` / ``delta`` / ``merge`` so a per-cell
+metric delta can be computed in a worker process, pickled across the
+pool boundary, folded into the parent's registry, and summarised onto
+the cell's run-manifest record (see ``repro.experiments.common``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: A histogram is an exact value -> count map.
+Histogram = Dict[Number, int]
+
+
+def _escape(text: str) -> str:
+    """Backslash-escape the key syntax characters inside a label part."""
+    return (
+        text.replace("\\", "\\\\").replace(",", "\\,").replace("=", "\\=")
+    )
+
+
+def series_key(name: str, labels: Dict[str, object]) -> str:
+    """Flatten ``name`` + ``labels`` into one deterministic series key.
+
+    Label names and values are backslash-escaped, so values containing
+    the syntax characters (e.g. the system label ``N(30,5) @ 30``)
+    round-trip exactly through :func:`split_series_key`.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f"{_escape(str(k))}={_escape(str(labels[k]))}" for k in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def split_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`series_key` (labels come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    buf: List[str] = []
+    label: Optional[str] = None
+    escaped = False
+
+    def flush() -> None:
+        nonlocal label, buf
+        if label is not None:
+            labels[label] = "".join(buf)
+        elif buf:
+            labels["".join(buf)] = ""
+        label, buf = None, []
+
+    for ch in inner[:-1]:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == "=" and label is None:
+            label = "".join(buf)
+            buf = []
+        elif ch == ",":
+            flush()
+        else:
+            buf.append(ch)
+    flush()
+    return name, labels
+
+
+class MetricsRegistry:
+    """Counters, gauges and exact histograms keyed by flattened series."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Number] = {}
+        self.gauges: Dict[str, Number] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: Number = 1, **labels) -> None:
+        key = series_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: Number, **labels) -> None:
+        self.gauges[series_key(name, labels)] = value
+
+    def observe(self, name: str, value: Number, **labels) -> None:
+        hist = self.histograms.setdefault(series_key(name, labels), {})
+        hist[value] = hist.get(value, 0) + 1
+
+    def observe_many(
+        self, name: str, values: Iterable[Number], **labels
+    ) -> None:
+        hist = self.histograms.setdefault(series_key(name, labels), {})
+        for value in values:
+            hist[value] = hist.get(value, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @staticmethod
+    def histogram_total(hist: Histogram) -> Number:
+        """Sum of all observed values (value * count)."""
+        return sum(value * count for value, count in hist.items())
+
+    @staticmethod
+    def histogram_count(hist: Histogram) -> int:
+        return sum(hist.values())
+
+    def snapshot(self) -> dict:
+        """A deep, picklable copy of the whole registry."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(h) for k, h in self.histograms.items()},
+        }
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """What changed between two snapshots (zero entries dropped).
+
+        Counters and histogram bins subtract; gauges keep the ``after``
+        value of every series that appeared or changed.  Registries
+        only ever grow, so a delta is always non-negative.
+        """
+        counters = {}
+        for key, value in after["counters"].items():
+            changed = value - before["counters"].get(key, 0)
+            if changed:
+                counters[key] = changed
+        gauges = {
+            key: value
+            for key, value in after["gauges"].items()
+            if before["gauges"].get(key) != value
+        }
+        histograms = {}
+        for key, hist in after["histograms"].items():
+            old = before["histograms"].get(key)
+            if old is None:
+                trimmed = {v: c for v, c in hist.items() if c}
+            else:
+                trimmed = {
+                    v: c - old.get(v, 0)
+                    for v, c in hist.items()
+                    if c - old.get(v, 0)
+                }
+            if trimmed:
+                histograms[key] = trimmed
+        return {
+            "counters": counters, "gauges": gauges, "histograms": histograms
+        }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a snapshot/delta (e.g. from a worker process) into this
+        registry: counters and histogram bins add, gauges overwrite."""
+        for key, value in snap.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        self.gauges.update(snap.get("gauges", {}))
+        for key, hist in snap.get("histograms", {}).items():
+            mine = self.histograms.setdefault(key, {})
+            for value, count in hist.items():
+                mine[value] = mine.get(value, 0) + count
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> List[Tuple[str, Dict[str, str]]]:
+        """Every recorded series of one base name, with parsed labels."""
+        out: List[Tuple[str, Dict[str, str]]] = []
+        for store in (self.counters, self.gauges, self.histograms):
+            for key in store:
+                base, labels = split_series_key(key)
+                if base == name:
+                    out.append((key, labels))
+        return sorted(out)
+
+
+def summarize_delta(delta: dict) -> dict:
+    """Compress a metrics delta into a compact per-cell summary.
+
+    Counters are summed by base name (labels stripped); histograms
+    collapse to ``{count, total}``.  The result is a dozen-key dict
+    small enough to ride on a run-manifest ``cell`` record.
+    """
+    counters: Dict[str, Number] = {}
+    for key, value in delta.get("counters", {}).items():
+        base, _ = split_series_key(key)
+        counters[base] = counters.get(base, 0) + value
+    histograms: Dict[str, Dict[str, Number]] = {}
+    for key, hist in delta.get("histograms", {}).items():
+        base, _ = split_series_key(key)
+        entry = histograms.setdefault(base, {"count": 0, "total": 0})
+        entry["count"] += MetricsRegistry.histogram_count(hist)
+        entry["total"] += MetricsRegistry.histogram_total(hist)
+    out: dict = {}
+    if counters:
+        out["counters"] = {k: counters[k] for k in sorted(counters)}
+    if histograms:
+        out["histograms"] = {k: histograms[k] for k in sorted(histograms)}
+    return out

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..analysis.liveness import LiveInterval, live_intervals
 from ..ir.block import BasicBlock
 from ..ir.operands import PhysReg, RegClass, Register, VirtualReg
+from ..obs import recorder as _obs
 from .spill import SpillRewriter, SpillStats
 from .target import DEFAULT_REGISTER_FILE, RegisterFile
 
@@ -70,6 +71,23 @@ class LinearScanAllocator:
             self.register_file, assigned, spilled, list(block.live_in)
         )
         rewritten = rewriter.rewrite(block)
+
+        rec = _obs.get()
+        if rec is not None:
+            label = str(rec.context().get("block", block.name))
+            rec.metrics.inc("regalloc.blocks", 1)
+            rec.metrics.inc(
+                "regalloc.assigned_registers", len(assigned), block=label
+            )
+            rec.metrics.inc(
+                "regalloc.spilled_registers", len(spilled), block=label
+            )
+            rec.metrics.inc(
+                "regalloc.spill_instructions",
+                rewriter.stats.total,
+                block=label,
+            )
+
         return AllocationResult(
             block=rewritten,
             assigned=assigned,

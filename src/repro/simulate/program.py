@@ -18,7 +18,9 @@ import numpy as np
 from ..ir.block import BasicBlock
 from ..machine.memory import MemorySystem
 from ..machine.processor import ProcessorModel
+from ..obs import recorder as _obs
 from .batch import simulate_block_batch
+from .trace import StallReason, trace_block
 
 #: The paper's run count: "Our method executes the full instruction-by-
 #: instruction simulation 30 times" (Section 4.3).
@@ -93,13 +95,120 @@ def sample_block(
 ) -> BlockSamples:
     """Simulate ``block`` ``runs`` times with fresh latency draws."""
     n_loads = sum(1 for i in block.instructions if i.is_load)
-    # One vectorised draw covers every run (the draw order is part of
-    # the deterministic artefact contract -- do not reorder it).
-    all_latencies = memory.sample_many(rng, n_loads * runs).reshape(runs, n_loads)
-    result = simulate_block_batch(block.instructions, all_latencies, processor)
+    rec = _obs.get()
+    if rec is None:
+        # One vectorised draw covers every run (the draw order is part
+        # of the deterministic artefact contract -- do not reorder it).
+        all_latencies = memory.sample_many(
+            rng, n_loads * runs
+        ).reshape(runs, n_loads)
+        result = simulate_block_batch(
+            block.instructions, all_latencies, processor
+        )
+        return BlockSamples(
+            block=block, cycles=result.cycles, interlocks=result.interlocks
+        )
+
+    with rec.span("simulate", block=block.name):
+        all_latencies = memory.sample_many(
+            rng, n_loads * runs
+        ).reshape(runs, n_loads)
+        result = simulate_block_batch(
+            block.instructions, all_latencies, processor
+        )
+        _record_simulation_metrics(
+            rec, block, processor, all_latencies, result
+        )
     return BlockSamples(
         block=block, cycles=result.cycles, interlocks=result.interlocks
     )
+
+
+def _record_simulation_metrics(
+    rec, block, processor, all_latencies, result
+) -> None:
+    """Metrics + per-load stall attribution for one sampled block.
+
+    The official cycle/interlock numbers always come from the batch
+    simulator above; attribution *replays* each run through the scalar
+    :func:`trace_block` (which knows which register each stall waited
+    on and who wrote it) and cross-checks totals against the batch
+    result, so an attribution that disagrees with the reported numbers
+    is an error, never a silent skew.  ``trace_block`` models the
+    paper's single-issue non-blocking processors only; for others the
+    skip is counted, not hidden.
+    """
+    metrics = rec.metrics
+    ctx = rec.context()
+    labels = {"block": block.name}
+    for key in ("program", "policy", "system"):
+        if key in ctx:
+            labels[key] = ctx[key]
+
+    runs = int(all_latencies.shape[0])
+    executed = sum(
+        1 for inst in block.instructions if inst.opcode.name != "NOP"
+    )
+    metrics.inc("sim.runs", runs, **labels)
+    metrics.inc("sim.instructions_issued", executed * runs, **labels)
+    metrics.inc("sim.cycles", int(result.cycles.sum()), **labels)
+    metrics.inc(
+        "sim.interlock_cycles", int(result.interlocks.sum()), **labels
+    )
+    metrics.set_gauge(
+        "sim.issue_width", processor.issue_width,
+        processor=processor.name,
+    )
+    metrics.observe_many(
+        "sim.latency_draw",
+        (int(v) for v in all_latencies.ravel()),
+        **labels,
+    )
+
+    if processor.issue_width != 1 or processor.blocking_loads:
+        metrics.inc(
+            "sim.attribution_skipped", runs,
+            processor=processor.name, **labels,
+        )
+        return
+
+    instructions = block.instructions
+    for run in range(runs):
+        trace = trace_block(instructions, all_latencies[run], processor)
+        if (
+            trace.cycles != int(result.cycles[run])
+            or trace.interlock_cycles != int(result.interlocks[run])
+        ):
+            raise RuntimeError(
+                f"stall-attribution replay diverged from the batch "
+                f"simulator on block {block.name!r} run {run}: "
+                f"trace {trace.cycles}/{trace.interlock_cycles} vs "
+                f"batch {int(result.cycles[run])}/"
+                f"{int(result.interlocks[run])}"
+            )
+        for entry in trace.entries:
+            if not entry.stall:
+                continue
+            if (
+                entry.reason is StallReason.OPERAND
+                and entry.waited_on_writer is not None
+                and instructions[entry.waited_on_writer].is_load
+            ):
+                metrics.observe(
+                    "sim.load_stall_cycles", entry.stall,
+                    load=entry.waited_on_writer, **labels,
+                )
+            else:
+                source = (
+                    "livein"
+                    if entry.reason is StallReason.OPERAND
+                    and entry.waited_on_writer is None
+                    else entry.reason.value
+                )
+                metrics.observe(
+                    "sim.other_stall_cycles", entry.stall,
+                    source=source, **labels,
+                )
 
 
 def simulate_program(

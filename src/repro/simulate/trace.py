@@ -46,6 +46,10 @@ class TraceEntry:
     stall: int
     reason: StallReason
     waited_on: Optional[Register] = None
+    #: For OPERAND stalls: index of the instruction that wrote the
+    #: waited-on register (None for live-in registers).  This is what
+    #: lets stall cycles be attributed back to individual loads.
+    waited_on_writer: Optional[int] = None
 
     @property
     def latency(self) -> int:
@@ -76,6 +80,91 @@ class BlockTrace:
     def hottest(self, n: int = 3) -> List[TraceEntry]:
         """The n longest individual stalls."""
         return sorted(self.entries, key=lambda e: -e.stall)[:n]
+
+    def stalls_by_writer(self) -> Dict[Optional[int], int]:
+        """Operand-stall cycles attributed to the writing instruction.
+
+        Keys are instruction indices (``None`` for live-in operands);
+        the values sum to the OPERAND bucket of
+        :meth:`stalls_by_reason`.
+        """
+        out: Dict[Optional[int], int] = {}
+        for entry in self.entries:
+            if entry.stall and entry.reason is StallReason.OPERAND:
+                key = entry.waited_on_writer
+                out[key] = out.get(key, 0) + entry.stall
+        return out
+
+    def load_latencies(self) -> List[int]:
+        """Observed latency of each executed load, in program order.
+
+        Feeding these back into :func:`trace_block` (same instructions,
+        same processor) replays this exact execution -- the round-trip
+        the serialisation tests exercise.
+        """
+        return [
+            entry.completion - entry.issue
+            for entry in self.entries
+            if entry.instruction.is_load
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form (instructions referenced by block index)."""
+        return {
+            "cycles": self.cycles,
+            "interlock_cycles": self.interlock_cycles,
+            "entries": [
+                {
+                    "index": e.index,
+                    "text": str(e.instruction),
+                    "issue": e.issue,
+                    "completion": e.completion,
+                    "stall": e.stall,
+                    "reason": e.reason.value,
+                    "waited_on": (
+                        str(e.waited_on) if e.waited_on is not None else None
+                    ),
+                    "waited_on_writer": e.waited_on_writer,
+                }
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, instructions: Sequence[Instruction]
+    ) -> "BlockTrace":
+        """Rebuild a trace against the block it was recorded from.
+
+        ``instructions`` must be the same sequence (same order) that
+        produced the trace; registers are resolved by name against each
+        entry's instruction operands.
+        """
+        entries: List[TraceEntry] = []
+        for raw in data["entries"]:
+            inst = instructions[raw["index"]]
+            waited_on: Optional[Register] = None
+            if raw["waited_on"] is not None:
+                for reg in inst.all_uses():
+                    if str(reg) == raw["waited_on"]:
+                        waited_on = reg
+                        break
+            entries.append(
+                TraceEntry(
+                    index=raw["index"],
+                    instruction=inst,
+                    issue=raw["issue"],
+                    completion=raw["completion"],
+                    stall=raw["stall"],
+                    reason=StallReason(raw["reason"]),
+                    waited_on=waited_on,
+                    waited_on_writer=raw.get("waited_on_writer"),
+                )
+            )
+        return cls(entries=entries)
 
     # ------------------------------------------------------------------
     def render(self, width: Optional[int] = None) -> str:
@@ -172,6 +261,13 @@ def trace_block(
 
         stall = t - next_free
         completion = t + latency
+        # Resolve the writer before this instruction's own defs clobber
+        # the writer map (e.g. ``r1 = r1 + 1``).
+        writer = (
+            reg_writer.get(waited_on)
+            if stall and waited_on is not None
+            else None
+        )
         if inst.is_load:
             if processor.max_outstanding_loads is not None:
                 heapq.heappush(outstanding, completion)
@@ -193,6 +289,7 @@ def trace_block(
                 stall=stall,
                 reason=reason if stall else StallReason.NONE,
                 waited_on=waited_on if stall else None,
+                waited_on_writer=writer,
             )
         )
         next_free = t + 1

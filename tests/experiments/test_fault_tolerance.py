@@ -103,6 +103,20 @@ class TestPoolMapFaults:
         assert stats.inline_items == 4
         assert any("inline" in r.message for r in caplog.records)
 
+    def test_pool_breakage_captures_the_originating_exception(self):
+        """The downgrade must be explainable: ``last_error`` holds the
+        repr of the exception that broke the pool, ready for the
+        manifest's ``pool_downgrade`` record."""
+        stats = PoolMapStats()
+        pool_map(_always_crash, list(range(4)), jobs=2, retries=0, stats=stats)
+        assert stats.last_error is not None
+        assert "Broken" in stats.last_error  # repr of a BrokenExecutor
+
+    def test_healthy_runs_leave_no_error_behind(self):
+        stats = PoolMapStats()
+        assert pool_map(abs, [-1, -2], jobs=1, stats=stats) == [1, 2]
+        assert stats.last_error is None
+
     def test_poison_item_propagates_and_keeps_the_pool(self):
         healthy = common._pool(2)
         with pytest.raises(CellEvaluationError) as exc:
@@ -182,3 +196,25 @@ class TestWorkerDeathEndToEnd:
         (run,) = read_runs(manifest.path)
         assert run.downgrades == 3
         assert run.end["inline"] == 3
+
+    def test_downgrade_record_carries_the_cause(self, tmp_path):
+        import json
+
+        manifest = ManifestWriter(tmp_path / "m.jsonl")
+        manifest.start_run("drill", seed=0, runs=3, jobs=2, resume=True)
+        manifest.record_pool_downgrade(
+            2, cause="BrokenProcessPool('a child process terminated')"
+        )
+        manifest.record_pool_downgrade(1)  # cause unknown: key omitted
+        manifest.end_run(wall_s=0.0)
+        records = [
+            json.loads(line) for line in manifest.path.read_text().splitlines()
+        ]
+        first, second = [
+            r for r in records if r["event"] == "pool_downgrade"
+        ]
+        assert first["items"] == 2
+        assert "BrokenProcessPool" in first["cause"]
+        assert second["items"] == 1 and "cause" not in second
+        (run,) = read_runs(manifest.path)
+        assert run.downgrades == 3

@@ -53,6 +53,40 @@ class TestWriter:
         assert end["misses"] == 3
         assert end["retries"] == 0 + 1 + 2 + 3
 
+    def test_cell_metrics_present_only_when_given(self, tmp_path):
+        """Obs-off manifests stay byte-compatible: the ``metrics`` key
+        appears only on cells recorded with a metrics summary."""
+        path = tmp_path / "m.jsonl"
+        writer = ManifestWriter(path)
+        writer.start_run("table2", seed=42, runs=3, jobs=1, resume=True)
+        writer.record_cell(
+            key="bare", program="ADM", system="s", processor="p",
+            wall_s=1.0, worker=1, cache="miss",
+        )
+        writer.record_cell(
+            key="observed", program="ADM", system="s", processor="p",
+            wall_s=1.0, worker=1, cache="miss",
+            metrics={
+                "counters": {"sim.cycles": 3042},
+                "histograms": {"sim.load_stall_cycles": {
+                    "count": 12, "total": 96,
+                }},
+            },
+        )
+        writer.end_run(wall_s=2.0)
+        bare, observed = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+            if json.loads(line)["event"] == "cell"
+        ]
+        assert "metrics" not in bare
+        assert observed["metrics"]["counters"]["sim.cycles"] == 3042
+        # The reader passes the field through untouched.
+        (run,) = read_runs(path)
+        assert run.cells[1]["metrics"]["histograms"][
+            "sim.load_stall_cycles"
+        ]["total"] == 96
+
     def test_appends_across_runs(self, tmp_path):
         path = tmp_path / "m.jsonl"
         first = _write_run(path, experiment="table2")

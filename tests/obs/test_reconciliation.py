@@ -1,0 +1,159 @@
+"""The acceptance invariant: stall histograms reconcile exactly.
+
+A cell evaluated under observability must satisfy, from the metrics
+registry alone:
+
+* sum over the ``sim.load_stall_cycles`` and ``sim.other_stall_cycles``
+  histograms == the ``sim.interlock_cycles`` counter, and
+* ``sim.cycles`` == ``sim.instructions_issued`` + ``sim.interlock_cycles``
+  (single-issue, non-blocking -- the paper's UNLIMITED model),
+
+because the attribution replay is cross-checked against the batch
+simulator run by run.  Nothing is sampled or bucketed, so the equality
+is exact, not approximate.
+"""
+
+import pytest
+
+from repro.experiments.common import ProgramEvaluator
+from repro.machine.config import paper_system_rows
+from repro.machine.processor import BLOCKING, MAX_8, UNLIMITED
+from repro.obs import recorder as obs
+from repro.obs.metrics import MetricsRegistry, split_series_key
+from repro.workloads.perfect import clear_cache, load_program
+
+
+def _sum_counter(metrics, base):
+    return sum(
+        value
+        for key, value in metrics.counters.items()
+        if split_series_key(key)[0] == base
+    )
+
+
+def _sum_histogram_totals(metrics, *bases):
+    return sum(
+        MetricsRegistry.histogram_total(hist)
+        for key, hist in metrics.histograms.items()
+        if split_series_key(key)[0] in bases
+    )
+
+
+@pytest.fixture(scope="module")
+def adm_cell_metrics():
+    # A fresh Program object sidesteps the process-wide compilation
+    # memo (keyed by program identity), so compile spans are recorded
+    # even when earlier tests already evaluated ADM.
+    clear_cache()
+    row = paper_system_rows()[0]
+    evaluator = ProgramEvaluator(load_program("ADM"), runs=3)
+    with obs.recording() as rec:
+        cell = evaluator.cell(row, UNLIMITED)
+    return cell, rec
+
+
+class TestStallReconciliation:
+    def test_stall_histograms_cover_every_interlock_cycle(
+        self, adm_cell_metrics
+    ):
+        _cell, rec = adm_cell_metrics
+        interlocks = _sum_counter(rec.metrics, "sim.interlock_cycles")
+        stalls = _sum_histogram_totals(
+            rec.metrics, "sim.load_stall_cycles", "sim.other_stall_cycles"
+        )
+        assert interlocks > 0
+        assert stalls == interlocks
+
+    def test_cycles_decompose_into_issue_plus_interlock(
+        self, adm_cell_metrics
+    ):
+        _cell, rec = adm_cell_metrics
+        cycles = _sum_counter(rec.metrics, "sim.cycles")
+        issued = _sum_counter(rec.metrics, "sim.instructions_issued")
+        interlocks = _sum_counter(rec.metrics, "sim.interlock_cycles")
+        assert cycles == issued + interlocks
+
+    def test_no_attribution_skips_on_the_unlimited_model(
+        self, adm_cell_metrics
+    ):
+        _cell, rec = adm_cell_metrics
+        assert _sum_counter(rec.metrics, "sim.attribution_skipped") == 0
+
+    def test_cell_numbers_unchanged_by_observation(self, adm_cell_metrics):
+        """Observability must never perturb the science."""
+        cell, _rec = adm_cell_metrics
+        row = paper_system_rows()[0]
+        bare = ProgramEvaluator(load_program("ADM"), runs=3).cell(
+            row, UNLIMITED
+        )
+        assert bare.improvement.mean == cell.improvement.mean
+        assert bare.traditional_interlock_pct == cell.traditional_interlock_pct
+        assert bare.balanced_interlock_pct == cell.balanced_interlock_pct
+
+    def test_ambient_cell_labels_reach_simulation_series(
+        self, adm_cell_metrics
+    ):
+        _cell, rec = adm_cell_metrics
+        series = rec.metrics.series("sim.load_stall_cycles")
+        assert series
+        for _key, labels in series:
+            assert labels["program"] == "ADM"
+            assert labels["policy"] in ("balanced", "traditional")
+            assert "block" in labels and "load" in labels and "system" in labels
+
+
+class TestAttributionSkip:
+    def test_blocking_runs_are_counted_not_attributed(self):
+        """`trace_block` models non-blocking loads only; on BLOCKING
+        hardware the skip is counted instead of silently mis-attributed."""
+        row = paper_system_rows()[0]
+        evaluator = ProgramEvaluator(load_program("ADM"), runs=3)
+        with obs.recording() as rec:
+            evaluator.cell(row, BLOCKING)
+        skipped = _sum_counter(rec.metrics, "sim.attribution_skipped")
+        runs = _sum_counter(rec.metrics, "sim.runs")
+        assert skipped == runs > 0
+        assert rec.metrics.series("sim.load_stall_cycles") == []
+        # The headline counters still reconcile at the top level.
+        cycles = _sum_counter(rec.metrics, "sim.cycles")
+        assert cycles > 0
+
+    def test_max8_is_single_issue_and_still_reconciles(self):
+        """Finite load slots (MAX-8) stay attributable: the replay
+        understands LOAD_SLOTS stalls, and totals still reconcile."""
+        row = paper_system_rows()[0]
+        evaluator = ProgramEvaluator(load_program("ADM"), runs=3)
+        with obs.recording() as rec:
+            evaluator.cell(row, MAX_8)
+        assert _sum_counter(rec.metrics, "sim.attribution_skipped") == 0
+        interlocks = _sum_counter(rec.metrics, "sim.interlock_cycles")
+        stalls = _sum_histogram_totals(
+            rec.metrics, "sim.load_stall_cycles", "sim.other_stall_cycles"
+        )
+        assert stalls == interlocks > 0
+
+
+class TestPipelineSpans:
+    def test_cell_records_the_full_phase_hierarchy(self, adm_cell_metrics):
+        _cell, rec = adm_cell_metrics
+        names = {span.name for span in rec.spans}
+        for required in (
+            "cell", "compile", "compile_block", "pass1", "dependence",
+            "weights", "schedule", "regalloc", "pass2",
+            "simulate_program", "simulate", "bootstrap",
+        ):
+            assert required in names, f"missing span {required!r}"
+
+    def test_regalloc_metrics_recorded(self, adm_cell_metrics):
+        _cell, rec = adm_cell_metrics
+        assert _sum_counter(rec.metrics, "regalloc.blocks") > 0
+        assert rec.metrics.series("regalloc.spill_instructions")
+
+    def test_load_weights_observed_for_both_policies(self, adm_cell_metrics):
+        _cell, rec = adm_cell_metrics
+        policies = {
+            labels.get("policy")
+            for _key, labels in rec.metrics.series("sched.load_weight")
+        }
+        assert "balanced" in policies
+        assert any(p and p.startswith("traditional") for p in policies)

@@ -1,0 +1,100 @@
+"""Tests for the span recorder and the module-global switch."""
+
+import pickle
+
+from repro.obs import recorder as obs
+
+
+def _counting_clock(step=1000):
+    state = {"t": 0}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self):
+        assert obs.get() is None
+        assert not obs.enabled()
+
+    def test_span_is_the_shared_null_object(self):
+        assert obs.span("anything", block="b0") is obs.NULL_SPAN
+        # Reusable and nestable with no state.
+        with obs.span("a"):
+            with obs.span("b", x=1):
+                pass
+
+    def test_null_span_swallows_nothing(self):
+        try:
+            with obs.span("a"):
+                raise ValueError("propagates")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception must propagate")
+
+
+class TestRecording:
+    def test_spans_capture_path_depth_and_order(self):
+        with obs.recording(clock=_counting_clock()) as rec:
+            with rec.span("outer", block="b0"):
+                with rec.span("inner", policy="balanced"):
+                    pass
+            with rec.span("after"):
+                pass
+        inner, outer, after = rec.spans
+        assert inner.path == ("outer", "inner")
+        assert outer.path == ("outer",)
+        assert after.path == ("after",)
+        assert (outer.index, inner.index, after.index) == (0, 1, 2)
+        assert (outer.depth, inner.depth, after.depth) == (0, 1, 0)
+        assert inner.args_dict == {"policy": "balanced"}
+        # Pinned clock: durations are exact multiples of the step.
+        assert outer.duration_ns == 3000
+        assert inner.duration_ns == 1000
+
+    def test_module_level_span_records_when_enabled(self):
+        with obs.recording() as rec:
+            with obs.span("phase", k="v"):
+                pass
+        assert [s.name for s in rec.spans] == ["phase"]
+        assert rec.spans[0].args_dict == {"k": "v"}
+
+    def test_context_merges_active_span_args_innermost_wins(self):
+        with obs.recording() as rec:
+            with rec.span("cell", block="outer", program="ADM"):
+                with rec.span("sim", block="inner"):
+                    assert rec.context() == {
+                        "block": "inner",
+                        "program": "ADM",
+                    }
+                assert rec.context() == {"block": "outer", "program": "ADM"}
+            assert rec.context() == {}
+
+    def test_recording_restores_previous_recorder(self):
+        outer = obs.enable()
+        try:
+            with obs.recording() as inner:
+                assert obs.get() is inner
+            assert obs.get() is outer
+        finally:
+            obs.disable()
+        assert obs.get() is None
+
+    def test_decisions_off_unless_requested(self):
+        with obs.recording() as rec:
+            assert rec.decisions is None
+        with obs.recording(decisions=True) as rec:
+            assert rec.decisions is not None
+
+    def test_span_events_pickle(self):
+        # Spans cross no process boundary today, but events are frozen
+        # value objects and should stay picklable.
+        with obs.recording(clock=_counting_clock()) as rec:
+            with rec.span("a", x=1):
+                pass
+        event = rec.spans[0]
+        assert pickle.loads(pickle.dumps(event)) == event

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.extensions",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
