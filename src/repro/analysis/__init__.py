@@ -29,7 +29,7 @@ from .equivalence import (
     block_effect,
     equivalent,
 )
-from .dependence import build_dag, dependence_summary
+from .dependence import build_dag, dependence_summary, ordered_pairs
 from .liveness import LiveInterval, live_intervals, max_pressure, pressure_profile
 from .reachability import (
     bits,
@@ -64,6 +64,7 @@ __all__ = [
     "Edge",
     "build_dag",
     "dependence_summary",
+    "ordered_pairs",
     "LiveInterval",
     "live_intervals",
     "max_pressure",

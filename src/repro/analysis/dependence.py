@@ -19,7 +19,7 @@ register allocation" the paper discusses in Section 4.1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..ir.block import BasicBlock
 from ..ir.instructions import Instruction
@@ -102,3 +102,26 @@ def dependence_summary(dag: CodeDAG) -> Dict[str, int]:
     for edge in dag.edges():
         counts[edge.kind.value] = counts.get(edge.kind.value, 0) + 1
     return counts
+
+
+def ordered_pairs(dag: CodeDAG) -> FrozenSet[Tuple[int, int]]:
+    """Every (earlier, later) pair the DAG orders, transitively.
+
+    The set of ordering constraints any legal schedule of ``dag`` must
+    satisfy.  Used to cross-check the independent legality oracle
+    (:mod:`repro.verify.oracle`): its pairwise conflict relation must
+    be a subset of this closure, or it would reject legal schedules.
+    """
+    n = len(dag.instructions)
+    pairs = set()
+    for start in range(n):
+        stack = list(dag.successors(start))
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            pairs.add((start, node))
+            stack.extend(dag.successors(node))
+    return frozenset(pairs)

@@ -8,7 +8,14 @@ registers and inserts spill code; neither may change what a block
   opcodes, literals, live-in symbols and load events;
 * a load's value is ``Load(region, address expression, version)``
   where the version counts the may-aliasing stores that precede it, so
-  store-to-load ordering is part of the value;
+  store-to-load ordering is part of the value.  Aliasing is judged on
+  symbolic *address values*, not base registers: value expressions
+  survive renaming and spill round-trips, so the count is the same
+  before and after allocation even when the allocator moved a base
+  pointer between registers (register-space aliasing is not -- two
+  scatters through one virtual base are provably distinct at constant
+  offsets, but conservatively overlap once reloads split the base
+  across spill-pool registers);
 * the block's *effect* is (a) the multiset of store events
   ``(region, address expression, stored value, version)`` and (b) the
   values of its live-out registers.
@@ -16,7 +23,11 @@ registers and inserts spill code; neither may change what a block
 Two blocks are equivalent when their effects match.  Spill traffic is
 invisible by construction: a spill store and its reloads round-trip
 the same value expression through a ``__spill`` region, and spill
-regions are excluded from the effect.
+regions are excluded from the effect.  Spilled live-ins and live-outs
+survive allocation as positional placeholders whose values live in
+home/out slots (the allocator's slot-naming contract); the live-out
+comparison resolves those slots, so spilling a live-out is as
+invisible as any other spill.
 
 The checker is *sound for this IR* (no arithmetic identities are
 applied, so it never claims equivalence of genuinely different
@@ -37,7 +48,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from ..ir.block import BasicBlock
 from ..ir.instructions import Instruction, Opcode
 from ..ir.operands import MemRef, Register
-from .alias import SPILL_REGION_PREFIX, AliasModel, may_alias
+from .alias import SPILL_REGION_PREFIX, AliasModel
 
 #: A value expression: nested tuples, hash-consed by Python interning
 #: of tuples.  Leaves: ("livein", k) for the k-th live-in register,
@@ -75,6 +86,38 @@ class BlockEffect:
         return counts
 
 
+def _values_may_alias(
+    region_a: str,
+    address_a: Value,
+    region_b: str,
+    address_b: Value,
+    alias_model: AliasModel,
+) -> bool:
+    """May two references overlap, judged on symbolic address values?
+
+    An address value is ``("addr", base value, constant offset)``.
+    Equal base *values* name the same runtime pointer regardless of
+    which register carries it, so distinct constant offsets are
+    provably disjoint; different base values in one region must be
+    assumed to overlap.  Spill slots are compiler-private and never
+    alias user memory, and versioning never consults spill-to-spill
+    aliasing (slot contents are tracked exactly).  Any pair this
+    predicate calls aliasing is ordered in every legal schedule (by a
+    memory edge when the registers also alias, by the register
+    dependence chain through the base redefinition otherwise), so
+    versions computed with it are schedule-invariant.
+    """
+    if region_a.startswith(SPILL_REGION_PREFIX) or region_b.startswith(
+        SPILL_REGION_PREFIX
+    ):
+        return False
+    if region_a == region_b:
+        if address_a[1] == address_b[1]:
+            return address_a[2] == address_b[2]
+        return True
+    return alias_model is not AliasModel.FORTRAN
+
+
 class _SymbolicState:
     """Register file and memory-version bookkeeping during execution."""
 
@@ -83,8 +126,9 @@ class _SymbolicState:
         self.values: Dict[Register, Value] = {}
         for index, reg in enumerate(block.live_in):
             self.values[reg] = ("livein", index)
-        #: Store events so far (drives load versioning).
-        self.stores: List[Tuple[MemRef, Value]] = []
+        #: (region, address value) of each store so far, in emission
+        #: order (drives load/store versioning).
+        self.stores: List[Tuple[str, Value]] = []
         self.effect_stores: List[StoreEvent] = []
 
     # ------------------------------------------------------------------
@@ -100,10 +144,13 @@ class _SymbolicState:
 
     def _version_for(self, mem: MemRef) -> int:
         """How many prior stores may alias this reference."""
+        address = self._address(mem)
         return sum(
             1
-            for earlier, _ in self.stores
-            if may_alias(earlier, mem, self.alias_model)
+            for region, earlier in self.stores
+            if _values_may_alias(
+                region, earlier, mem.region, address, self.alias_model
+            )
         )
 
     # ------------------------------------------------------------------
@@ -124,7 +171,7 @@ class _SymbolicState:
             assert inst.mem is not None
             stored = self.read(inst.uses[0])
             version = self._version_for(inst.mem)
-            self.stores.append((inst.mem, stored))
+            self.stores.append((inst.mem.region, self._address(inst.mem)))
             if not inst.mem.region.startswith(SPILL_REGION_PREFIX):
                 self.effect_stores.append(
                     StoreEvent(
@@ -163,6 +210,14 @@ def _spill_round_trip(value: Value) -> Value:
     return value
 
 
+#: The allocator's documented slot-naming contract (see
+#: ``repro.regalloc.spill``): spilled live-ins round-trip through home
+#: slots indexed by live-in position, spilled live-outs end their life
+#: in out slots indexed by live-out position.
+_SPILL_HOME_REGION = f"{SPILL_REGION_PREFIX}_home"
+_SPILL_OUT_REGION = f"{SPILL_REGION_PREFIX}_out"
+
+
 def block_effect(
     block: BasicBlock, alias_model: AliasModel = AliasModel.FORTRAN
 ) -> BlockEffect:
@@ -170,7 +225,9 @@ def block_effect(
     state = _SymbolicState(block, alias_model)
     #: Track spill-slot contents so reloads resolve to stored values.
     spill_memory: Dict[Tuple[str, int], Value] = {}
+    defined = set()
     for inst in block.instructions:
+        defined.update(inst.defs)
         if (
             inst.is_store
             and inst.mem is not None
@@ -197,7 +254,33 @@ def block_effect(
             continue
         state.execute(inst)
 
-    live_out = tuple(state.read(reg) for reg in block.live_out)
+    # Live-out values.  A register the block defines (or a live-in it
+    # passes through) is read directly.  A virtual register that no
+    # instruction touches is a spilled placeholder (the allocator keeps
+    # it in ``live_out`` positionally): its value sits in the home slot
+    # of its live-in position when it is a live-in, or in the out slot
+    # of its live-out position otherwise.
+    live_in_position: Dict[Register, int] = {}
+    for index, reg in enumerate(block.live_in):
+        live_in_position.setdefault(reg, index)
+
+    def _live_out_value(position: int, reg: Register) -> Value:
+        if reg in defined:
+            return state.read(reg)
+        if reg in live_in_position:
+            index = live_in_position[reg]
+            return spill_memory.get(
+                (_SPILL_HOME_REGION, index), ("livein", index)
+            )
+        slot = (_SPILL_OUT_REGION, position)
+        if slot in spill_memory:
+            return spill_memory[slot]
+        return state.read(reg)
+
+    live_out = tuple(
+        _live_out_value(position, reg)
+        for position, reg in enumerate(block.live_out)
+    )
     return BlockEffect(stores=state.effect_stores, live_out=live_out)
 
 

@@ -24,6 +24,7 @@ from ..ir.block import BasicBlock, Program
 from ..obs.recorder import span as _span
 from ..regalloc.linear_scan import AllocationResult, LinearScanAllocator
 from ..regalloc.target import DEFAULT_REGISTER_FILE, RegisterFile
+from ..verify import hooks as _verify
 from .policy import SchedulingPolicy
 from .scheduler import ScheduleResult
 
@@ -106,9 +107,10 @@ def compile_block(
             pass1 = policy.schedule_block(block, alias_model=alias_model)
 
         if register_file is None and allocator is None:
-            return CompiledBlock(
+            compiled = CompiledBlock(
                 source=block, final=pass1.block, pass1=pass1, allocation=None, pass2=None
             )
+            return _checked(compiled, alias_model)
 
         if allocator is None:
             allocator = LinearScanAllocator(register_file)
@@ -123,9 +125,21 @@ def compile_block(
                 pass2 = policy.schedule_dag(dag, final)
             final = pass2.block
 
-        return CompiledBlock(
+        compiled = CompiledBlock(
             source=block, final=final, pass1=pass1, allocation=allocation, pass2=pass2
         )
+        return _checked(compiled, alias_model)
+
+
+def _checked(compiled: CompiledBlock, alias_model: AliasModel) -> CompiledBlock:
+    """Push the artefact through the legality oracle when verification
+    is enabled (``balanced-sched run --verify`` / ``verify.hooks``);
+    one attribute read when it is not."""
+    hook = _verify.get()
+    if hook is not None:
+        with _span("verify", block=compiled.final.name):
+            hook.check(compiled, alias_model)
+    return compiled
 
 
 def compile_program(

@@ -1,13 +1,27 @@
 """Command-line entry point.
 
-Installed as ``balanced-sched``.  Six modes:
+Installed as ``balanced-sched``.  Modes:
 
 Regenerate a paper artifact (the bare form is shorthand for ``run``)::
 
     balanced-sched table2
     balanced-sched run table2 --format csv
     balanced-sched run table2 --obs --trace-out trace.json --metrics-out m.json
+    balanced-sched run table2 --verify      # oracle-check every compilation
     balanced-sched all
+
+Replay every compilation behind the published tables under the
+schedule-legality oracle (exit status 1 on any violation)::
+
+    balanced-sched verify
+    balanced-sched verify --programs ADM,MDG
+
+Differentially fuzz the pipeline: random minif programs through both
+schedulers and both simulators, failures shrunk and written as replay
+artifacts::
+
+    balanced-sched fuzz --seed 7 --iters 100
+    balanced-sched fuzz --iters 25 --out /tmp/fuzz
 
 Profile an experiment with the observability layer on (phase timings,
 hottest stalled loads, scheduler tie-break pressure)::
@@ -68,10 +82,12 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from ..analysis.alias import AliasModel
 from ..obs import recorder as _obs
 from ..obs.export import phase_summary, write_chrome_trace, write_metrics
-from ..obs.metrics import MetricsRegistry, split_series_key
+from ..obs.metrics import MetricsRegistry, counter_total, split_series_key
 from ..simulate.rng import DEFAULT_SEED
+from ..verify import hooks as _verify_hooks
 from .ablations import run_all_ablations
 from .cache import ResultCache, default_cache_dir
 from .common import engine_session
@@ -242,6 +258,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Enable *before* any work so lazily-forked pool workers inherit
     # the recorder (their metrics come back as per-cell deltas).
     rec = _obs.enable() if _wants_obs(args) else None
+    verify_hook = None
+    if args.verify:
+        if args.resume:
+            # Cells replayed from the result cache skip compilation
+            # entirely, so nothing would reach the oracle.
+            logger.warning(
+                "--verify forces a fresh run: cached cells skip "
+                "compilation and would go unchecked"
+            )
+            args.resume = False
+        # Same fork-inheritance rule as the recorder: enable before
+        # any pool exists.  A violation raises LegalityError inside
+        # the compiling process and fails the run loudly.
+        verify_hook = _verify_hooks.enable()
     timings = []
     try:
         with engine_session(cache=cache, manifest=manifest, resume=args.resume):
@@ -283,9 +313,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
             logger.info("  %-10s %6.1fs", "total", total)
         return 0
     finally:
+        if verify_hook is not None:
+            _verify_hooks.disable()
+            _print_verify_summary(verify_hook, rec, jobs)
         if rec is not None:
             _obs.disable()
             _finish_obs(rec, args)
+
+
+def _print_verify_summary(hook, rec, jobs: int) -> None:
+    """One line accounting for what the pipeline hook checked.
+
+    Worker processes keep their own hook counters; their numbers come
+    back to the parent only as observability metric deltas, so the
+    recorder is the authoritative count when it exists.
+    """
+    checked = hook.blocks_checked
+    violations = hook.violations
+    note = ""
+    if rec is not None:
+        checked = int(counter_total(rec.metrics.counters, "verify.blocks_checked"))
+        violations = int(counter_total(rec.metrics.counters, "verify.violations"))
+    elif jobs > 1:
+        note = " (parent process only; add --obs for cross-worker counts)"
+    print(
+        f"\n  [verify: {checked} block(s) oracle-checked, "
+        f"{violations} violation(s){note}]"
+    )
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Replay every compilation behind the published tables under the
+    legality oracle."""
+    from ..verify.replay import verify_perfect_suite
+    from ..workloads.perfect import program_names
+
+    names = None
+    if args.programs:
+        known = program_names()
+        names = [n for n in (p.strip() for p in args.programs.split(",")) if n]
+        unknown = [n for n in names if n not in known]
+        if not names or unknown:
+            print(
+                f"unknown program(s) {unknown or [args.programs]}; "
+                f"choose from {known}",
+                file=sys.stderr,
+            )
+            return 2
+    start = time.time()
+    report = verify_perfect_suite(
+        programs=names,
+        alias_model=AliasModel(args.alias),
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.format())
+    print(f"\n  [suite verified in {time.time() - start:.1f}s]")
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differentially fuzz the pipeline with random minif programs."""
+    from ..verify.fuzz import run_fuzz
+
+    start = time.time()
+    report = run_fuzz(
+        seed=args.seed,
+        iters=args.iters,
+        max_insns=args.max_insns,
+        out_dir=args.out,
+        runs=args.runs,
+        shrink=not args.no_shrink,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.format())
+    print(f"\n  [fuzzed in {time.time() - start:.1f}s]")
+    return 0 if report.failures == 0 else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -639,6 +741,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record spans/metrics/stall attribution for the whole run "
         "and print a phase summary at the end",
     )
+    run.add_argument(
+        "--verify",
+        action="store_true",
+        help="oracle-check every compiled block while the run executes "
+        "(forces a fresh run; any legality violation fails the run)",
+    )
     _add_obs_arguments(run)
     run.add_argument(
         "--resume",
@@ -672,6 +780,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "default results/manifest.jsonl)",
     )
     run.set_defaults(handler=_cmd_run)
+
+    verify = sub.add_parser(
+        "verify",
+        help="replay every table-backing compilation under the "
+        "schedule-legality oracle (exit 1 on any violation)",
+    )
+    verify.add_argument(
+        "--programs",
+        default=None,
+        help="comma-separated subset of Perfect Club programs "
+        "(default: the whole suite)",
+    )
+    verify.add_argument(
+        "--alias",
+        choices=[model.value for model in AliasModel],
+        default=AliasModel.FORTRAN.value,
+        help="alias model to compile and check under",
+    )
+    verify.set_defaults(handler=_cmd_verify)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random minif programs through both "
+        "schedulers and both simulators, failures shrunk to artifacts",
+    )
+    fuzz.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    fuzz.add_argument(
+        "--iters", type=_positive_int, default=200,
+        help="programs to generate and check",
+    )
+    fuzz.add_argument(
+        "--max-insns", type=_positive_int, default=40,
+        help="approximate lowered-size bound per generated kernel",
+    )
+    fuzz.add_argument(
+        "--runs", type=_positive_int, default=3,
+        help="simulation runs per (block, processor) pair",
+    )
+    fuzz.add_argument(
+        "--out",
+        default=os.path.join("results", "fuzz"),
+        help="artifact directory for shrunk failures "
+        "(untouched when the run is clean)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="write failing programs as-is, skipping minimization",
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     profile = sub.add_parser(
         "profile",

@@ -15,6 +15,8 @@ from .ast import (
     Num,
     ProgramAST,
     Var,
+    referenced_arrays,
+    referenced_scalars,
 )
 from .errors import LexError, LoweringError, MinifError, ParseError
 from .lexer import Token, TokenKind, tokenize
@@ -45,4 +47,6 @@ __all__ = [
     "format_expr",
     "format_kernel",
     "format_program_ast",
+    "referenced_arrays",
+    "referenced_scalars",
 ]

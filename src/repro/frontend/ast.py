@@ -133,3 +133,43 @@ class ProgramAST:
     arrays: List[str] = field(default_factory=list)
     scalars: List[str] = field(default_factory=list)
     kernels: List[Kernel] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Structural queries (used by the fuzz shrinker to prune dead
+# declarations, and generally handy for AST-level tooling)
+# ----------------------------------------------------------------------
+def _walk_exprs(expr: Expr):
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from _walk_exprs(expr.lhs)
+        yield from _walk_exprs(expr.rhs)
+
+
+def referenced_arrays(ast: ProgramAST) -> set:
+    """Array names actually read or written anywhere in the program
+    (including arrays used only as indirect subscripts)."""
+    names = set()
+    for kernel in ast.kernels:
+        for statement in kernel.body:
+            targets = [statement.target] if isinstance(statement.target, ArrayRef) else []
+            for node in targets + [
+                e for e in _walk_exprs(statement.expr) if isinstance(e, ArrayRef)
+            ]:
+                names.add(node.array)
+                if isinstance(node.index, IndirectIndex):
+                    names.add(node.index.array)
+    return names
+
+
+def referenced_scalars(ast: ProgramAST) -> set:
+    """Non-temporary scalar names read or written in the program."""
+    names = set()
+    for kernel in ast.kernels:
+        for statement in kernel.body:
+            if isinstance(statement.target, Var) and not statement.target.is_temp:
+                names.add(statement.target.name)
+            for node in _walk_exprs(statement.expr):
+                if isinstance(node, Var) and not node.is_temp:
+                    names.add(node.name)
+    return names

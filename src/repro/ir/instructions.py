@@ -149,6 +149,33 @@ class Instruction:
     def all_regs(self) -> Tuple[Register, ...]:
         return self.defs + self.all_uses()
 
+    def conflicts_with(self, other: "Instruction", may_alias=None) -> bool:
+        """Must program order between ``self`` and ``other`` be kept?
+
+        True when any reordering of the two could change behaviour: a
+        register dependence (true, anti or output, including the
+        address base of a memory operand), a pair of memory accesses
+        that may overlap with at least one of them a store, or a block
+        terminator (which anchors at the block end).  ``may_alias`` is
+        a ``(MemRef, MemRef) -> bool`` predicate; when omitted, any two
+        memory references are assumed to overlap (the conservative
+        answer, correct under every alias model).
+        """
+        if self.is_terminator or other.is_terminator:
+            return True
+        defs = set(self.defs)
+        if defs & set(other.defs) or defs & set(other.all_uses()):
+            return True
+        if set(self.all_uses()) & set(other.defs):
+            return True
+        if self.mem is not None and other.mem is not None and (
+            self.is_store or other.is_store
+        ):
+            if may_alias is None:
+                return True
+            return bool(may_alias(self.mem, other.mem))
+        return False
+
     def with_registers(
         self,
         defs: Sequence[Register],

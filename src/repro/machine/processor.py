@@ -70,6 +70,27 @@ PAPER_PROCESSORS = (UNLIMITED, MAX_8, LEN_8)
 BLOCKING = ProcessorModel("BLOCKING", blocking_loads=True)
 
 
+def model_family(processor: ProcessorModel) -> str:
+    """The constraint family a processor model belongs to.
+
+    One of ``"superscalar"``, ``"blocking"``, ``"len"``, ``"max"``,
+    ``"len+max"`` or ``"unlimited"`` -- the axes along which the
+    simulators special-case behaviour, and therefore the coverage
+    classes the verification fuzzer stratifies over.
+    """
+    if processor.issue_width > 1:
+        return "superscalar"
+    if processor.blocking_loads:
+        return "blocking"
+    if processor.max_load_cycles is not None:
+        if processor.max_outstanding_loads is not None:
+            return "len+max"
+        return "len"
+    if processor.max_outstanding_loads is not None:
+        return "max"
+    return "unlimited"
+
+
 def superscalar(width: int, base: ProcessorModel = UNLIMITED) -> ProcessorModel:
     """A ``width``-issue variant of ``base`` (Section 6 extension)."""
     return ProcessorModel(

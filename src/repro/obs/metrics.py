@@ -201,6 +201,21 @@ class MetricsRegistry:
         return sorted(out)
 
 
+def counter_total(counters: dict, base: str) -> float:
+    """Sum one counter across all of its label series.
+
+    ``counters`` is the ``"counters"`` mapping of an exported metrics
+    JSON (or ``MetricsRegistry.counters``); ``base`` is the unlabelled
+    series name, e.g. ``"verify.violations"``.  Used by the CI gates
+    (``tools/check_obs.py`` / ``tools/check_verify.py``).
+    """
+    return sum(
+        value
+        for key, value in counters.items()
+        if split_series_key(key)[0] == base
+    )
+
+
 def summarize_delta(delta: dict) -> dict:
     """Compress a metrics delta into a compact per-cell summary.
 

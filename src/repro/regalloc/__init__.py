@@ -2,7 +2,12 @@
 
 from .chaitin import ChaitinAllocator, allocate_block_chaitin
 from .linear_scan import AllocationResult, LinearScanAllocator, allocate_block
-from .spill import SpillRewriter, SpillStats
+from .spill import (
+    SPILL_HOME_REGION,
+    SPILL_OUT_REGION,
+    SpillRewriter,
+    SpillStats,
+)
 from .target import (
     BASE_SPILL_POOL,
     DEFAULT_REGISTER_FILE,
@@ -17,6 +22,8 @@ __all__ = [
     "allocate_block_chaitin",
     "LinearScanAllocator",
     "allocate_block",
+    "SPILL_HOME_REGION",
+    "SPILL_OUT_REGION",
     "SpillRewriter",
     "SpillStats",
     "BASE_SPILL_POOL",

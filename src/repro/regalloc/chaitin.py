@@ -80,7 +80,8 @@ class ChaitinAllocator:
             self._color_class(class_nodes, colors, assigned, spilled)
 
         rewriter = SpillRewriter(
-            self.register_file, assigned, spilled, list(block.live_in)
+            self.register_file, assigned, spilled,
+            list(block.live_in), list(block.live_out),
         )
         rewritten = rewriter.rewrite(block)
         return AllocationResult(

@@ -68,7 +68,8 @@ class LinearScanAllocator:
             self._scan_class(rclass, class_intervals, assigned, spilled)
 
         rewriter = SpillRewriter(
-            self.register_file, assigned, spilled, list(block.live_in)
+            self.register_file, assigned, spilled,
+            list(block.live_in), list(block.live_out),
         )
         rewritten = rewriter.rewrite(block)
 

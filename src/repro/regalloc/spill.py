@@ -28,6 +28,21 @@ from ..ir.instructions import Instruction, load as make_load, store as make_stor
 from ..ir.operands import MemRef, PhysReg, RegClass, Register, VirtualReg
 from .target import RegisterFile
 
+#: Home slots of spilled live-in values; indexed by live-in position.
+#: Part of the allocator's public contract -- the translation validator
+#: and the legality oracle resolve reloads from this region to the
+#: corresponding live-in value.
+SPILL_HOME_REGION = f"{SPILL_REGION_PREFIX}_home"
+
+#: Home slots of spilled live-*out* values; indexed by live-out
+#: position.  A spilled live-out keeps its virtual register as a
+#: placeholder in ``live_out`` (no physical register ever holds it),
+#: so the slot position is the only way a consumer -- or a validator
+#: -- can locate the value at block exit.  Spilled live-ins keep their
+#: live-in home slot (it is updated on every redefinition), so this
+#: region is used only for block-defined live-outs.
+SPILL_OUT_REGION = f"{SPILL_REGION_PREFIX}_out"
+
 
 @dataclass
 class SpillStats:
@@ -79,16 +94,23 @@ class SpillRewriter:
         assigned: Dict[VirtualReg, PhysReg],
         spilled: Set[VirtualReg],
         live_in: Sequence[Register],
+        live_out: Sequence[Register] = (),
     ):
         self.register_file = register_file
         self.assigned = dict(assigned)
         self.spilled = set(spilled)
         self.live_in = set(live_in)
+        self.live_out = set(live_out)
         #: Position of each live-in register: a spilled live-in reloads
         #: from home slot = its live-in index, which keeps its symbolic
         #: identity recoverable (see repro.analysis.equivalence).
         self.live_in_order: Dict[Register, int] = {
             reg: index for index, reg in enumerate(live_in)
+        }
+        #: Likewise for live-outs: a spilled live-out's value ends its
+        #: life in the out-slot at its live-out index.
+        self.live_out_order: Dict[Register, int] = {
+            reg: index for index, reg in enumerate(live_out)
         }
         self._slots: Dict[VirtualReg, int] = {}
         self._pools = {
@@ -100,14 +122,23 @@ class SpillRewriter:
     # ------------------------------------------------------------------
     def _slot(self, reg: VirtualReg) -> MemRef:
         # Live-in values reload from their caller-visible home slot
-        # (indexed by live-in position); block-local values use
-        # sequentially assigned private slots.  Distinct offsets in one
-        # region are provably disjoint under the alias model.
+        # (indexed by live-in position) and live-out values land in
+        # their caller-visible out slot (indexed by live-out position);
+        # block-local values use sequentially assigned private slots.
+        # Distinct offsets in one region are provably disjoint under
+        # the alias model.
         if reg in self.live_in:
             return MemRef(
-                region=f"{SPILL_REGION_PREFIX}_home",
+                region=SPILL_HOME_REGION,
                 base=None,
                 offset=self.live_in_order[reg],
+                affine_coeff=0,
+            )
+        if reg in self.live_out:
+            return MemRef(
+                region=SPILL_OUT_REGION,
+                base=None,
+                offset=self.live_out_order[reg],
                 affine_coeff=0,
             )
         if reg not in self._slots:
@@ -170,12 +201,12 @@ class SpillRewriter:
             out.extend(stores_after)
 
         rewritten = block.replaced(out)
-        # Preserve live-in *positions*: an assigned live-in maps to its
-        # physical register; a spilled live-in keeps its virtual
-        # register as a placeholder (its value arrives in memory -- the
-        # home spill slot at the same index -- not in a register).
-        # Positional stability is what lets the translation validator
-        # identify live-in values across allocation.
+        # Preserve live-in/live-out *positions*: an assigned register
+        # maps to its physical register; a spilled register keeps its
+        # virtual register as a placeholder (its value sits in memory
+        # -- the home/out spill slot at the same index -- not in a
+        # register).  Positional stability is what lets the translation
+        # validator identify these values across allocation.
         rewritten.live_in = [self.assigned.get(r, r) for r in block.live_in]
         rewritten.live_out = [self.assigned.get(r, r) for r in block.live_out]
         return rewritten

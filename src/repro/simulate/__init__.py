@@ -7,6 +7,7 @@ from .program import (
     sample_block,
     simulate_program,
 )
+from .batch import BatchSimResult, batch_native, simulate_block_batch
 from .rng import DEFAULT_SEED, spawn
 from .simulator import (
     BlockSimResult,
@@ -53,6 +54,9 @@ __all__ = [
     "TraceEntry",
     "trace_block",
     "trace_with_memory",
+    "BatchSimResult",
+    "batch_native",
+    "simulate_block_batch",
     "DEFAULT_BOOTSTRAP",
     "ImprovementResult",
     "bootstrap_means",

@@ -148,6 +148,16 @@ class _WindowBuffer:
             self.ends = self.ends[keep]
 
 
+def batch_native(processor: ProcessorModel) -> bool:
+    """Does :func:`simulate_block_batch` vectorize this model natively?
+
+    Multi-issue models fall back to looping over the scalar simulator
+    (results are identical either way); the verification fuzzer uses
+    this to label which path a scalar/batch comparison exercised.
+    """
+    return processor.issue_width == 1
+
+
 def simulate_block_batch(
     instructions: Sequence[Instruction],
     latencies: np.ndarray,

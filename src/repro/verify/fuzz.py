@@ -1,0 +1,446 @@
+"""The differential oracle: random minif programs vs. the pipeline.
+
+Each fuzz iteration generates a seeded random minif program (via
+:func:`random_ast`), compiles it under balanced and traditional
+scheduling in both alias models, checks every pipeline artefact with
+the legality oracle, and then simulates every final block under every
+supported processor-model family twice -- once with the scalar
+simulator, once with the run-vectorized batch simulator -- asserting
+exact per-run cycle-count equality.
+
+A mismatch of any kind is minimized by the greedy shrinker
+(:mod:`repro.verify.shrink`) and written to ``results/fuzz/`` as a
+JSON artifact holding the seed, the original and shrunk minif source
+and the expected/actual observations, so a failure found on one
+machine replays anywhere (:func:`replay_artifact`).
+
+The program generator is size-parameterized and deliberately covers
+the degenerate shapes a suite-derived corpus never produces: empty
+kernels, single-statement kernels, all-load chains, wide
+anti-dependence fans (many loads feeding one store into the same
+cell), reductions through a carried scalar, and indirect (gather)
+subscripts in both alias models.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.alias import AliasModel
+from ..core.balanced import BalancedScheduler
+from ..core.pipeline import compile_program
+from ..core.traditional import TraditionalScheduler
+from ..frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    IndexExpr,
+    IndirectIndex,
+    Kernel,
+    Num,
+    ProgramAST,
+    Var,
+)
+from ..frontend.lowering import compile_minif
+from ..frontend.printer import format_program_ast
+from ..machine.config import L80_2_5, L80_N30_5, N_2_5, N_30_5
+from ..machine.memory import FixedMemory, MemorySystem
+from ..machine.processor import (
+    BLOCKING,
+    LEN_8,
+    MAX_8,
+    ProcessorModel,
+    UNLIMITED,
+    model_family,
+    superscalar,
+)
+from ..simulate.batch import simulate_block_batch
+from ..simulate.rng import DEFAULT_SEED, spawn
+from ..simulate.simulator import simulate_block
+from .oracle import check_compiled
+
+#: One processor per constraint family the simulators special-case,
+#: plus tight variants that actually bind on small fuzz blocks.
+FUZZ_PROCESSORS: Tuple[ProcessorModel, ...] = (
+    UNLIMITED,
+    MAX_8,
+    LEN_8,
+    BLOCKING,
+    ProcessorModel("MAX-2", max_outstanding_loads=2),
+    ProcessorModel("LEN-3", max_load_cycles=3),
+    ProcessorModel("LEN-3+MAX-2", max_load_cycles=3, max_outstanding_loads=2),
+    superscalar(2),
+)
+
+#: One memory system per family (fixed / cache / network / mixed).
+FUZZ_MEMORIES: Tuple[MemorySystem, ...] = (
+    FixedMemory(4),
+    L80_2_5,
+    N_2_5,
+    N_30_5,
+    L80_N30_5,
+)
+
+_ARRAYS = ("va", "vb", "vc", "vd")
+_INDEX_ARRAY = "idx"
+_SCALARS = ("s0", "s1", "s2")
+
+#: Generator shape vocabulary; "mixed" is weighted heaviest, the rest
+#: are the adversarial corners.
+SHAPES = (
+    "mixed", "mixed", "mixed", "mixed",
+    "single", "empty", "allload", "antifan", "reduction", "samecell",
+)
+
+
+# ----------------------------------------------------------------------
+# Random program generation
+# ----------------------------------------------------------------------
+def _affine(rng: np.random.Generator) -> IndexExpr:
+    coeff = int(rng.choice((0, 1, 1, 1, 1, 2, 3)))
+    if coeff == 0:
+        return IndexExpr(0, int(rng.integers(0, 8)))
+    return IndexExpr(coeff, int(rng.integers(-2, 5)))
+
+
+def _index(rng: np.random.Generator, allow_indirect: bool = True):
+    if allow_indirect and rng.random() < 0.15:
+        return IndirectIndex(_INDEX_ARRAY, _affine(rng))
+    return _affine(rng)
+
+
+def _expr(rng: np.random.Generator, temps: List[str], depth: int):
+    roll = rng.random()
+    if depth <= 0 or roll < 0.45:
+        leaf = rng.random()
+        if leaf < 0.55:
+            return ArrayRef(str(rng.choice(_ARRAYS)), _index(rng))
+        if leaf < 0.75 and temps:
+            return Var(str(rng.choice(temps)))
+        if leaf < 0.9:
+            return Var(str(rng.choice(_SCALARS)))
+        return Num(float(int(rng.integers(1, 9))))
+    op = str(rng.choice(("+", "+", "-", "*", "*", "/")))
+    return BinOp(op, _expr(rng, temps, depth - 1), _expr(rng, temps, depth - 1))
+
+
+def _mixed_body(rng: np.random.Generator, n_statements: int) -> List[Assign]:
+    body: List[Assign] = []
+    temps: List[str] = []
+    for k in range(n_statements):
+        expr = _expr(rng, temps, depth=int(rng.integers(1, 4)))
+        roll = rng.random()
+        if roll < 0.35:
+            target = Var(f"t{len(temps)}")
+            temps.append(target.name)
+        elif roll < 0.55:
+            target = Var(str(rng.choice(_SCALARS)))
+        else:
+            target = ArrayRef(str(rng.choice(_ARRAYS)), _index(rng))
+        body.append(Assign(target, expr))
+    return body
+
+
+def _shape_body(rng: np.random.Generator, shape: str, n_statements: int) -> List[Assign]:
+    if shape == "empty":
+        return []
+    if shape == "single":
+        return _mixed_body(rng, 1)
+    if shape == "allload":
+        # A chain summing many loads: long serial dependence, no store.
+        expr = ArrayRef(_ARRAYS[0], _affine(rng))
+        for k in range(max(2, n_statements)):
+            expr = BinOp("+", expr, ArrayRef(
+                str(rng.choice(_ARRAYS)), _affine(rng)
+            ))
+        return [Assign(Var("s0"), expr)]
+    if shape == "antifan":
+        # Many independent loads feeding one store into a cell that the
+        # loads may also read: a wide anti-dependence fan.
+        cell = ArrayRef(_ARRAYS[0], IndexExpr(1, 0))
+        expr = ArrayRef(_ARRAYS[0], IndexExpr(1, 0))
+        for k in range(max(2, n_statements)):
+            expr = BinOp("+", expr, ArrayRef(_ARRAYS[0], IndexExpr(1, k + 1)))
+        return [Assign(cell, expr)]
+    if shape == "reduction":
+        body = []
+        for _ in range(max(1, n_statements // 2)):
+            body.append(Assign(Var("s0"), BinOp(
+                "+", Var("s0"),
+                BinOp("*", ArrayRef("va", _affine(rng)),
+                      ArrayRef("vb", _affine(rng))),
+            )))
+        return body
+    if shape == "samecell":
+        # Store then reload of the very same cell (memory true dep).
+        index = IndexExpr(1, 0)
+        return [
+            Assign(ArrayRef("va", index), BinOp(
+                "+", ArrayRef("vb", _affine(rng)), Num(1.0)
+            )),
+            Assign(Var("s1"), BinOp(
+                "*", ArrayRef("va", index), ArrayRef("va", _affine(rng))
+            )),
+        ]
+    return _mixed_body(rng, n_statements)
+
+
+def random_ast(
+    rng: np.random.Generator,
+    max_statements: int = 6,
+    name: str = "fuzz",
+) -> ProgramAST:
+    """A seeded random minif program (always parses and round-trips)."""
+    kernels: List[Kernel] = []
+    for k in range(int(rng.integers(1, 4))):
+        shape = str(rng.choice(SHAPES))
+        n_statements = int(rng.integers(1, max(2, max_statements + 1)))
+        unroll = int(rng.choice((1, 1, 1, 2, 3)))
+        kernels.append(Kernel(
+            name=f"k{k}",
+            freq=float(int(rng.integers(1, 50))),
+            unroll=unroll,
+            body=_shape_body(rng, shape, n_statements),
+        ))
+    return ProgramAST(
+        name=name,
+        arrays=list(_ARRAYS) + [_INDEX_ARRAY],
+        scalars=list(_SCALARS),
+        kernels=kernels,
+    )
+
+
+# ----------------------------------------------------------------------
+# The differential check
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Mismatch:
+    """One divergence between two things that must agree."""
+
+    kind: str        # "legality" | "cycles"
+    detail: str
+    expected: str = ""
+    actual: str = ""
+
+    def __str__(self) -> str:
+        text = f"[{self.kind}] {self.detail}"
+        if self.expected or self.actual:
+            text += f" (expected {self.expected}, got {self.actual})"
+        return text
+
+
+_POLICY_FACTORIES: Tuple[Callable, ...] = (
+    lambda: BalancedScheduler(),
+    lambda: TraditionalScheduler(2),
+    lambda: TraditionalScheduler(5),
+)
+
+
+def check_source(
+    source: str,
+    seed: int = DEFAULT_SEED,
+    runs: int = 3,
+    processors: Sequence[ProcessorModel] = FUZZ_PROCESSORS,
+    memories: Sequence[MemorySystem] = FUZZ_MEMORIES,
+) -> List[Mismatch]:
+    """All legality and scalar-vs-batch mismatches for one program."""
+    mismatches: List[Mismatch] = []
+    program = compile_minif(source)
+
+    for alias_model in (AliasModel.FORTRAN, AliasModel.C_CONSERVATIVE):
+        for factory in _POLICY_FACTORIES:
+            policy = factory()
+            compiled = compile_program(program, policy, alias_model=alias_model)
+            for artefact in compiled.blocks:
+                for violation in check_compiled(
+                    artefact, alias_model, processors=(UNLIMITED,)
+                ):
+                    mismatches.append(Mismatch(
+                        "legality",
+                        f"{policy.name}/{alias_model.value}/"
+                        f"{artefact.final.name}: {violation}",
+                    ))
+
+    # Scalar vs. batch agreement on the balanced/FORTRAN compilation
+    # (the pipeline output the published tables simulate).
+    compiled = compile_program(program, BalancedScheduler())
+    for block_index, block in enumerate(compiled.final_blocks):
+        n_loads = len(block.loads)
+        for proc_index, processor in enumerate(processors):
+            memory = memories[(block_index + proc_index) % len(memories)]
+            rng = spawn(
+                "fuzz-sim", seed, block.name, processor.name, memory.name
+            )
+            latencies = memory.sample_many(rng, n_loads * runs).reshape(
+                runs, n_loads
+            )
+            batch = simulate_block_batch(
+                block.instructions, latencies, processor
+            )
+            for run in range(runs):
+                scalar = simulate_block(
+                    block.instructions,
+                    [int(x) for x in latencies[run]],
+                    processor,
+                )
+                if (
+                    scalar.cycles != int(batch.cycles[run])
+                    or scalar.interlock_cycles != int(batch.interlocks[run])
+                ):
+                    mismatches.append(Mismatch(
+                        "cycles",
+                        f"scalar/batch divergence: block {block.name}, "
+                        f"{processor.name} ({model_family(processor)}), "
+                        f"{memory.name}, run {run}",
+                        expected=(
+                            f"cycles={scalar.cycles} "
+                            f"interlocks={scalar.interlock_cycles}"
+                        ),
+                        actual=(
+                            f"cycles={int(batch.cycles[run])} "
+                            f"interlocks={int(batch.interlocks[run])}"
+                        ),
+                    ))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+ARTIFACT_SCHEMA = "repro.verify.fuzz/1"
+
+
+def write_artifact(
+    out_dir: str,
+    seed: int,
+    iteration: int,
+    source: str,
+    shrunk: str,
+    mismatches: Sequence[Mismatch],
+    runs: int,
+) -> str:
+    """Persist one failure as a replayable JSON artifact."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"fuzz-{seed}-{iteration:05d}.json")
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "seed": seed,
+        "iteration": iteration,
+        "runs": runs,
+        "source": source,
+        "shrunk_source": shrunk,
+        "mismatches": [
+            {
+                "kind": m.kind,
+                "detail": m.detail,
+                "expected": m.expected,
+                "actual": m.actual,
+            }
+            for m in mismatches
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"{path} is not a fuzz artifact (schema {payload.get('schema')!r})"
+        )
+    return payload
+
+
+def replay_artifact(path: str) -> List[Mismatch]:
+    """Re-run the differential check on an artifact's shrunk program."""
+    payload = load_artifact(path)
+    return check_source(
+        payload["shrunk_source"] or payload["source"],
+        seed=payload["seed"],
+        runs=payload["runs"],
+    )
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` session."""
+
+    seed: int
+    iterations: int
+    programs_checked: int = 0
+    failures: int = 0
+    artifacts: List[str] = field(default_factory=list)
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: seed {self.seed}, {self.programs_checked} program(s) "
+            f"checked over {self.iterations} iteration(s)",
+        ]
+        if self.failures:
+            lines.append(f"  {self.failures} FAILING program(s):")
+            lines.extend(f"    {path}" for path in self.artifacts)
+            lines.extend(f"    {m}" for m in self.mismatches[:8])
+        else:
+            lines.append(
+                "  0 mismatches (legality oracle + scalar/batch agreement)"
+            )
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    seed: int = DEFAULT_SEED,
+    iters: int = 200,
+    max_insns: int = 40,
+    out_dir: str = os.path.join("results", "fuzz"),
+    runs: int = 3,
+    shrink: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Generate, check and (on failure) shrink ``iters`` programs.
+
+    ``max_insns`` bounds the *lowered* size of a generated kernel by
+    steering the statement budget; artifacts are only written for
+    failures, so a clean run leaves ``out_dir`` untouched.
+    """
+    from .shrink import shrink_source  # local import: shrink -> fuzz types
+
+    report = FuzzReport(seed=seed, iterations=iters)
+    max_statements = max(1, max_insns // 6)
+    for iteration in range(iters):
+        rng = spawn("fuzz-gen", seed, iteration)
+        ast = random_ast(rng, max_statements=max_statements)
+        source = format_program_ast(ast)
+        report.programs_checked += 1
+        mismatches = check_source(source, seed=seed, runs=runs)
+        if not mismatches:
+            if progress is not None and (iteration + 1) % 25 == 0:
+                progress(f"  {iteration + 1}/{iters} programs clean")
+            continue
+        report.failures += 1
+        report.mismatches.extend(mismatches)
+        shrunk = source
+        if shrink:
+            shrunk = shrink_source(
+                source,
+                lambda text: bool(check_source(text, seed=seed, runs=runs)),
+            )
+        path = write_artifact(
+            out_dir, seed, iteration, source, shrunk, mismatches, runs
+        )
+        report.artifacts.append(path)
+        if progress is not None:
+            progress(f"  FAIL at iteration {iteration}: {path}")
+    return report

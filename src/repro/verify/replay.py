@@ -1,0 +1,113 @@
+"""Replay the Perfect-suite evaluation under the legality oracle.
+
+``balanced-sched verify`` re-runs every *compilation* behind every
+published table cell and checks each block with the oracle.  The
+tables share compilations: a (program, policy, optimistic-latency)
+triple compiled once serves every memory system at that latency, so
+covering all distinct triples over the paper's processor models covers
+every block of every cell of Tables 2-5 (and of the figures, which use
+the same pipeline on smaller inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..analysis.alias import AliasModel
+from ..core.balanced import BalancedScheduler
+from ..core.pipeline import compile_program
+from ..core.traditional import TraditionalScheduler
+from ..machine.config import paper_system_rows
+from ..machine.processor import PAPER_PROCESSORS
+from ..workloads.perfect import load_program, program_names
+from .oracle import Violation, check_compiled
+
+
+def paper_optimistic_latencies() -> Tuple[float, ...]:
+    """Every optimistic latency any published table compiles with."""
+    from ..experiments.table4 import OPTIMISTIC_LATENCIES
+
+    latencies = {float(row.optimistic_latency) for row in paper_system_rows()}
+    latencies.update(float(lat) for lat in OPTIMISTIC_LATENCIES)
+    return tuple(sorted(latencies))
+
+
+@dataclass
+class SuiteVerifyReport:
+    """Outcome of one whole-suite verification replay."""
+
+    programs: List[str]
+    latencies: Tuple[float, ...]
+    compilations: int = 0
+    blocks_checked: int = 0
+    cells_covered: int = 0
+    violations: List[Tuple[str, str, str, Violation]] = field(
+        default_factory=list
+    )  # (program, policy, block, violation)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        lines = [
+            "verify: Perfect-suite replay under the schedule-legality oracle",
+            f"  programs:      {', '.join(self.programs)}",
+            f"  policies:      balanced + traditional @ "
+            f"{len(self.latencies)} optimistic latencies",
+            f"  compilations:  {self.compilations} "
+            f"({self.blocks_checked} blocks checked against "
+            f"{len(PAPER_PROCESSORS)} processor models)",
+            f"  table cells:   {self.cells_covered} covered "
+            "(every Tables 2-5 cell reuses one of these compilations)",
+        ]
+        if self.violations:
+            lines.append(f"  VIOLATIONS:    {len(self.violations)}")
+            for program, policy, block, violation in self.violations[:10]:
+                lines.append(f"    {program}/{policy}/{block}: {violation}")
+            if len(self.violations) > 10:
+                lines.append(
+                    f"    ... and {len(self.violations) - 10} more"
+                )
+        else:
+            lines.append("  violations:    0")
+        return "\n".join(lines)
+
+
+def verify_perfect_suite(
+    programs: Optional[Sequence[str]] = None,
+    alias_model: AliasModel = AliasModel.FORTRAN,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SuiteVerifyReport:
+    """Oracle-check every compilation behind the published tables."""
+    names = list(programs) if programs else program_names()
+    latencies = paper_optimistic_latencies()
+    report = SuiteVerifyReport(programs=names, latencies=latencies)
+
+    rows = paper_system_rows()
+    for name in names:
+        program = load_program(name)
+        policies = [BalancedScheduler()] + [
+            TraditionalScheduler(latency) for latency in latencies
+        ]
+        for policy in policies:
+            compiled = compile_program(program, policy, alias_model=alias_model)
+            report.compilations += 1
+            for artefact in compiled.blocks:
+                report.blocks_checked += 1
+                for violation in check_compiled(
+                    artefact, alias_model, processors=PAPER_PROCESSORS
+                ):
+                    report.violations.append((
+                        name, policy.name, artefact.final.name, violation
+                    ))
+        if progress is not None:
+            progress(f"  {name}: {len(policies)} compilations checked")
+
+    # Cell accounting: Table 2 (17 systems x programs, UNLIMITED),
+    # Table 3 (same grid, interlock column), Table 5 (same grid on
+    # MAX-8 and LEN-8), Table 4 (spills: programs x latency columns).
+    grid = len(rows) * len(names)
+    report.cells_covered = grid * 3 + len(names) * len(latencies)
+    return report

@@ -1,0 +1,214 @@
+"""Greedy minimization of failing minif programs.
+
+Given a failing program and a predicate ("does this source still
+fail?"), the shrinker repeatedly applies the largest reduction that
+preserves the failure, to a fixpoint:
+
+1. drop a whole kernel;
+2. drop a statement;
+3. neutralize a kernel's unroll factor and frequency;
+4. replace a binary expression by one of its operands, or a leaf by
+   the literal ``1``;
+5. simplify a subscript (indirect -> its inner affine index,
+   affine -> plain ``i``);
+6. merge array names and scalar names pairwise (the "merge registers"
+   reduction at source level);
+7. prune declarations nothing references.
+
+Every candidate is printed back to source and re-parsed through the
+real frontend before the predicate runs, so a shrunk artifact is
+always a valid minif program and round-trips through the toolchain.
+The predicate is typically ``lambda s: bool(check_source(s, ...))``
+from :mod:`repro.verify.fuzz`; the number of predicate evaluations is
+capped so shrinking a pathological case cannot run away.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Union
+
+from ..frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    IndexExpr,
+    IndirectIndex,
+    Kernel,
+    Num,
+    ProgramAST,
+    Var,
+    referenced_arrays,
+    referenced_scalars,
+)
+from ..frontend.parser import parse_program
+from ..frontend.printer import format_program_ast
+
+#: Hard cap on predicate evaluations per shrink (safety valve).
+MAX_PREDICATE_CALLS = 400
+
+
+# ----------------------------------------------------------------------
+# Structure-editing helpers (all pure: they build new ASTs)
+# ----------------------------------------------------------------------
+def _with_kernels(ast: ProgramAST, kernels: List[Kernel]) -> ProgramAST:
+    return ProgramAST(ast.name, list(ast.arrays), list(ast.scalars), kernels)
+
+
+def _expr_reductions(expr: Expr) -> Iterator[Expr]:
+    """Candidate replacements for one expression, biggest cut first."""
+    if isinstance(expr, BinOp):
+        yield expr.lhs
+        yield expr.rhs
+        for reduced in _expr_reductions(expr.lhs):
+            yield BinOp(expr.op, reduced, expr.rhs)
+        for reduced in _expr_reductions(expr.rhs):
+            yield BinOp(expr.op, expr.lhs, reduced)
+        return
+    if isinstance(expr, ArrayRef):
+        if isinstance(expr.index, IndirectIndex):
+            yield ArrayRef(expr.array, expr.index.inner)
+        elif expr.index != IndexExpr(1, 0):
+            yield ArrayRef(expr.array, IndexExpr(1, 0))
+        yield Num(1.0)
+        return
+    if isinstance(expr, Var):
+        yield Num(1.0)
+        return
+    if isinstance(expr, Num) and expr.value != 1.0:
+        yield Num(1.0)
+
+
+def _statement_reductions(statement: Assign) -> Iterator[Assign]:
+    for reduced in _expr_reductions(statement.expr):
+        yield Assign(statement.target, reduced)
+    target = statement.target
+    if isinstance(target, ArrayRef):
+        if isinstance(target.index, IndirectIndex):
+            yield Assign(ArrayRef(target.array, target.index.inner), statement.expr)
+        elif target.index != IndexExpr(1, 0):
+            yield Assign(ArrayRef(target.array, IndexExpr(1, 0)), statement.expr)
+
+
+def _rename_in_expr(expr: Expr, kind: str, old: str, new: str) -> Expr:
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rename_in_expr(expr.lhs, kind, old, new),
+            _rename_in_expr(expr.rhs, kind, old, new),
+        )
+    if isinstance(expr, ArrayRef):
+        array = new if kind == "array" and expr.array == old else expr.array
+        index = expr.index
+        if kind == "array" and isinstance(index, IndirectIndex) and index.array == old:
+            index = IndirectIndex(new, index.inner)
+        return ArrayRef(array, index)
+    if isinstance(expr, Var) and kind == "scalar" and expr.name == old:
+        return Var(new)
+    return expr
+
+
+def _rename(ast: ProgramAST, kind: str, old: str, new: str) -> ProgramAST:
+    kernels = []
+    for kernel in ast.kernels:
+        body = []
+        for statement in kernel.body:
+            target: Union[Var, ArrayRef] = statement.target
+            target = _rename_in_expr(target, kind, old, new)  # type: ignore[assignment]
+            body.append(Assign(target, _rename_in_expr(statement.expr, kind, old, new)))
+        kernels.append(Kernel(kernel.name, kernel.freq, kernel.unroll, body))
+    arrays = [a for a in ast.arrays if not (kind == "array" and a == old)]
+    scalars = [s for s in ast.scalars if not (kind == "scalar" and s == old)]
+    return ProgramAST(ast.name, arrays, scalars, kernels)
+
+
+def _candidates(ast: ProgramAST) -> Iterator[ProgramAST]:
+    """All one-step reductions of ``ast``, most aggressive first."""
+    if len(ast.kernels) > 1:
+        for k in range(len(ast.kernels)):
+            yield _with_kernels(ast, ast.kernels[:k] + ast.kernels[k + 1:])
+    for k, kernel in enumerate(ast.kernels):
+        for s in range(len(kernel.body)):
+            body = kernel.body[:s] + kernel.body[s + 1:]
+            kernels = list(ast.kernels)
+            kernels[k] = Kernel(kernel.name, kernel.freq, kernel.unroll, body)
+            yield _with_kernels(ast, kernels)
+    for k, kernel in enumerate(ast.kernels):
+        if kernel.unroll != 1 or kernel.freq != 1:
+            kernels = list(ast.kernels)
+            kernels[k] = Kernel(kernel.name, 1.0, 1, list(kernel.body))
+            yield _with_kernels(ast, kernels)
+    for k, kernel in enumerate(ast.kernels):
+        for s, statement in enumerate(kernel.body):
+            for reduced in _statement_reductions(statement):
+                body = list(kernel.body)
+                body[s] = reduced
+                kernels = list(ast.kernels)
+                kernels[k] = Kernel(kernel.name, kernel.freq, kernel.unroll, body)
+                yield _with_kernels(ast, kernels)
+    used_arrays = referenced_arrays(ast)
+    live_arrays = [a for a in ast.arrays if a in used_arrays]
+    for old in live_arrays[1:]:
+        yield _rename(ast, "array", old, live_arrays[0])
+    used_scalars = referenced_scalars(ast)
+    live_scalars = [s for s in ast.scalars if s in used_scalars]
+    for old in live_scalars[1:]:
+        yield _rename(ast, "scalar", old, live_scalars[0])
+    pruned_arrays = [a for a in ast.arrays if a in used_arrays]
+    pruned_scalars = [s for s in ast.scalars if s in used_scalars]
+    if pruned_arrays != ast.arrays or pruned_scalars != ast.scalars:
+        yield ProgramAST(
+            ast.name, pruned_arrays, pruned_scalars, list(ast.kernels)
+        )
+
+
+# ----------------------------------------------------------------------
+# The greedy loop
+# ----------------------------------------------------------------------
+def shrink_ast(
+    ast: ProgramAST,
+    still_fails: Callable[[str], bool],
+    max_calls: int = MAX_PREDICATE_CALLS,
+) -> ProgramAST:
+    """Greedily minimize ``ast`` while ``still_fails`` holds.
+
+    The predicate receives printed source (never an AST), so whatever
+    it checks runs through the real parser -- a shrunk reproducer is
+    guaranteed to be a valid program.
+    """
+    calls = 0
+    current = ast
+    improved = True
+    while improved and calls < max_calls:
+        improved = False
+        for candidate in _candidates(current):
+            if calls >= max_calls:
+                break
+            source = format_program_ast(candidate)
+            try:
+                parse_program(source)
+            except Exception:  # pragma: no cover - printer guarantees parse
+                continue
+            calls += 1
+            failed = False
+            try:
+                failed = still_fails(source)
+            except Exception:
+                # A candidate that *crashes* the predicate still
+                # reproduces a failure; treat it as failing.
+                failed = True
+            if failed:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def shrink_source(
+    source: str,
+    still_fails: Callable[[str], bool],
+    max_calls: int = MAX_PREDICATE_CALLS,
+) -> str:
+    """Source-level wrapper around :func:`shrink_ast`."""
+    ast = parse_program(source)
+    return format_program_ast(shrink_ast(ast, still_fails, max_calls))

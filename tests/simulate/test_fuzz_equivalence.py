@@ -1,0 +1,121 @@
+"""Scalar-vs-batch equivalence driven by the fuzz generator and by
+pinned degenerate fixtures.
+
+``tests/simulate/test_batch_equivalence.py`` already covers random IR
+blocks; this file ports the same exactness contract onto the *minif*
+path the fuzzer exercises -- real pipeline output (scheduling, spills,
+second pass) rather than generator-shaped IR -- and pins the
+degenerate block shapes a suite-derived corpus never produces: empty
+blocks, single-instruction blocks, all-load chains, maximum-width
+anti-dependence fans into one cell, and kernels whose load runs
+overflow the LEN/MAX windows.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.core import BalancedScheduler
+from repro.core.pipeline import compile_program
+from repro.frontend import compile_minif
+from repro.frontend.printer import format_program_ast
+from repro.simulate import (
+    batch_native,
+    simulate_block,
+    simulate_block_batch,
+)
+from repro.simulate.rng import spawn
+from repro.verify.fuzz import (
+    FUZZ_MEMORIES,
+    FUZZ_PROCESSORS,
+    check_source,
+    random_ast,
+)
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+FIXTURES = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.mf")))
+
+RUNS = 5
+
+
+def _fixture_source(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _assert_scalar_batch_agree(block, processor, memory, key):
+    n_loads = len(block.loads)
+    rng = spawn("fuzz-equivalence", *key)
+    latencies = memory.sample_many(rng, n_loads * RUNS).reshape(RUNS, n_loads)
+    batch = simulate_block_batch(block.instructions, latencies, processor)
+    for run in range(RUNS):
+        scalar = simulate_block(
+            block.instructions, [int(x) for x in latencies[run]], processor
+        )
+        assert scalar.cycles == int(batch.cycles[run]), (
+            f"{key}: run {run} cycles {scalar.cycles} != "
+            f"{int(batch.cycles[run])} on {processor.name}/{memory.name}"
+        )
+        assert scalar.interlock_cycles == int(batch.interlocks[run]), (
+            f"{key}: run {run} interlocks diverge on "
+            f"{processor.name}/{memory.name}"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", FIXTURES, ids=[os.path.basename(p) for p in FIXTURES]
+)
+def test_fixture_inventory_and_full_differential_check(path):
+    """Every pinned fixture passes the fuzzer's whole check (legality
+    oracle on six compilations + scalar/batch agreement)."""
+    assert len(FIXTURES) >= 5, "degenerate fixture set went missing"
+    assert check_source(_fixture_source(path), seed=11, runs=2) == []
+
+
+@pytest.mark.parametrize("processor", FUZZ_PROCESSORS, ids=lambda p: p.name)
+@pytest.mark.parametrize(
+    "path", FIXTURES, ids=[os.path.basename(p) for p in FIXTURES]
+)
+def test_fixture_scalar_batch_exact(path, processor):
+    """Direct per-run comparison on every (fixture, processor) pair,
+    independent of check_source's memory rotation."""
+    program = compile_minif(_fixture_source(path))
+    compiled = compile_program(program, BalancedScheduler())
+    for index, block in enumerate(compiled.final_blocks):
+        memory = FUZZ_MEMORIES[index % len(FUZZ_MEMORIES)]
+        _assert_scalar_batch_agree(
+            block, processor, memory,
+            key=(os.path.basename(path), block.name, processor.name),
+        )
+
+
+def test_empty_block_simulates_to_zero():
+    program = compile_minif(_fixture_source(
+        os.path.join(FIXTURE_DIR, "empty.mf")
+    ))
+    compiled = compile_program(program, BalancedScheduler())
+    for block in compiled.final_blocks:
+        for processor in FUZZ_PROCESSORS:
+            if not batch_native(processor):
+                continue
+            _assert_scalar_batch_agree(
+                block, processor, FUZZ_MEMORIES[0],
+                key=("empty", block.name, processor.name),
+            )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_generated_programs_scalar_batch_exact(seed):
+    """The fuzz generator's own output, checked directly (a fast,
+    deterministic slice of what `balanced-sched fuzz` sweeps)."""
+    ast = random_ast(spawn("fuzz-equivalence-gen", seed), max_statements=4)
+    program = compile_minif(format_program_ast(ast))
+    compiled = compile_program(program, BalancedScheduler())
+    for index, block in enumerate(compiled.final_blocks):
+        processor = FUZZ_PROCESSORS[index % len(FUZZ_PROCESSORS)]
+        memory = FUZZ_MEMORIES[(seed + index) % len(FUZZ_MEMORIES)]
+        _assert_scalar_batch_agree(
+            block, processor, memory,
+            key=("gen", seed, block.name, processor.name),
+        )

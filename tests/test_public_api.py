@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.extensions",
     "repro.experiments",
     "repro.obs",
+    "repro.verify",
 ]
 
 

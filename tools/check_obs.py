@@ -24,7 +24,7 @@ import json
 import sys
 
 from repro.obs.export import validate_chrome_trace
-from repro.obs.metrics import split_series_key
+from repro.obs.metrics import counter_total, split_series_key
 
 REQUIRED_SPANS = (
     "frontend",
@@ -52,14 +52,6 @@ def check_trace(path: str) -> list:
     return problems
 
 
-def _counter_sum(counters: dict, base: str) -> float:
-    return sum(
-        value
-        for key, value in counters.items()
-        if split_series_key(key)[0] == base
-    )
-
-
 def check_metrics(path: str) -> list:
     problems = []
     with open(path, encoding="utf-8") as handle:
@@ -67,9 +59,9 @@ def check_metrics(path: str) -> list:
     counters = metrics.get("counters", {})
     histograms = metrics.get("histograms", {})
 
-    interlocks = _counter_sum(counters, "sim.interlock_cycles")
-    cycles = _counter_sum(counters, "sim.cycles")
-    issued = _counter_sum(counters, "sim.instructions_issued")
+    interlocks = counter_total(counters, "sim.interlock_cycles")
+    cycles = counter_total(counters, "sim.cycles")
+    issued = counter_total(counters, "sim.instructions_issued")
     stalls = sum(
         float(value) * count
         for key, hist in histograms.items()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI gate for verification artifacts.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_verify.py METRICS.json FUZZ_DIR
+
+Checks that a ``run --verify --obs --metrics-out`` invocation and a
+``balanced-sched fuzz`` sweep left auditable evidence:
+
+1. the metrics file records ``verify.blocks_checked > 0`` (the oracle
+   actually ran) and ``verify.violations == 0`` (and every schedule
+   passed it), and
+2. the fuzz artifact directory contains no failure artifacts -- a
+   clean sweep never creates the directory, so a missing ``FUZZ_DIR``
+   is a pass and any ``fuzz-*.json`` inside it is a recorded,
+   replayable failure.
+
+Exit status is the number of problems found (0 = clean), mirroring
+``tools/check_obs.py``.
+"""
+
+import glob
+import json
+import os
+import sys
+
+from repro.obs.metrics import counter_total
+
+
+def check_metrics(path: str) -> list:
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            metrics = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot read metrics file {path}: {error}"]
+    counters = metrics.get("counters", {})
+    checked = counter_total(counters, "verify.blocks_checked")
+    violations = counter_total(counters, "verify.violations")
+    if checked <= 0:
+        problems.append(
+            "verify.blocks_checked is 0 -- did the run use --verify "
+            "(and --fresh, so cells were not replayed from cache)?"
+        )
+    if violations != 0:
+        problems.append(
+            f"verify.violations is {violations} -- the oracle rejected "
+            "a schedule; see the failing run's log"
+        )
+    return problems
+
+
+def check_fuzz_dir(path: str) -> list:
+    if not os.path.isdir(path):
+        return []  # clean fuzz runs never create the directory
+    artifacts = sorted(glob.glob(os.path.join(path, "fuzz-*.json")))
+    return [
+        f"fuzz failure artifact left behind: {artifact}"
+        for artifact in artifacts
+    ]
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    problems = check_metrics(argv[1]) + check_fuzz_dir(argv[2])
+    for problem in problems:
+        print(f"check_verify: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            "check_verify: oracle ran with zero violations and the "
+            "fuzz sweep left no failure artifacts"
+        )
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
