@@ -16,7 +16,7 @@ from ..core.pipeline import compile_program
 from ..core.traditional import TraditionalScheduler
 from ..ir.block import Program
 from ..machine.config import SystemRow
-from ..machine.processor import UNLIMITED, superscalar
+from ..machine.processor import superscalar
 from ..simulate.program import simulate_program
 from ..simulate.rng import DEFAULT_SEED, spawn
 from ..simulate.stats import percentage_improvement, program_bootstrap_runtimes
@@ -54,7 +54,9 @@ def run_width_sweep(
 
     improvements: Dict[int, float] = {}
     for width in widths:
-        processor = UNLIMITED if width == 1 else superscalar(width)
+        # ``superscalar(1)`` degenerates to UNLIMITED; every width runs
+        # on the batch simulator's native vector path.
+        processor = superscalar(width)
         key = (program.name, system.memory.name, f"w{width}")
         trad_runs = simulate_program(
             traditional.final_blocks,

@@ -14,8 +14,12 @@ in how much latency they can actually hide:
   its data has not returned by then, the processor blocks until it
   does (the Tera-style restriction).
 
-``issue_width`` > 1 is the Section 6 superscalar extension and is not
-used by the paper's main experiments.
+``issue_width`` > 1 is the Section 6 superscalar extension.  It is not
+used by the paper's main tables, but both simulators support it
+natively: the scalar :func:`~repro.simulate.simulator.simulate_block`
+and the run-vectorized :func:`~repro.simulate.batch.
+simulate_block_batch` model in-order multi-issue cycle-identically
+(there is no scalar fallback in the batch path).
 """
 
 from __future__ import annotations

@@ -8,35 +8,38 @@ outstanding-load bookkeeping, LEN-n freeze windows) becomes a numpy
 array of shape ``(runs,)``, and each instruction step is a handful of
 vector operations instead of a Python-level pass per run.
 
-Supported directly (vectorised):
+Every processor model is vectorised natively -- there is no scalar
+fallback:
 
 * single-issue, non-blocking loads (UNLIMITED);
 * single-issue, blocking loads (the BLOCKING baseline);
-* ``max_outstanding_loads`` (MAX-n), via a per-run top-``n`` heap of
+* ``max_outstanding_loads`` (MAX-n), via a per-run top-``n`` array of
   outstanding completion times -- a load may not issue before the
   ``n``-th largest completion among previously issued loads;
-* ``max_load_cycles`` (LEN-n), via :class:`_WindowBuffer` (see below).
+* ``max_load_cycles`` (LEN-n), via :class:`_WindowBuffer` (see below);
+* ``issue_width`` > 1 (the Section 6 superscalar extension), via
+  :func:`_superscalar_kernel`: the per-run issue clock and the number
+  of slots consumed in the current issue group become ``(runs,)``
+  vectors, composed with the same top-k and window machinery.
 
-Scalar fallback (documented in docs/performance.md): ``issue_width > 1``
-(the Section 6 superscalar extension) falls back to the per-run scalar
-simulator; its slot-packing state does not vectorise cleanly and it is
-not used by the paper's main experiments.
-
-Equivalence with the scalar simulator is enforced by the property test
-``tests/simulate/test_batch_equivalence.py`` across all processor
-models and memory families.
+Equivalence with the scalar simulator is enforced by the property
+tests ``tests/simulate/test_batch_equivalence.py`` and
+``tests/simulate/test_superscalar_batch.py`` and by the differential
+fuzz harness (``repro.verify.fuzz``) across all processor models,
+issue widths and memory families.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..ir.instructions import Instruction, Opcode
 from ..machine.processor import ProcessorModel, UNLIMITED
-from .simulator import LatencyOverrunError, simulate_block
+from ..obs import recorder as _obs
+from .simulator import LatencyOverrunError
 
 
 @dataclass(frozen=True)
@@ -53,10 +56,11 @@ class _WindowBuffer:
 
     Windows are kept as row-stacked ``(n_windows, runs)`` arrays in
     issue order (their per-run start times are monotone in issue order
-    because issue times strictly increase on a single-issue machine),
-    with ``end = 0`` marking runs where a load did not exceed the
-    limit.  The common case -- no run is inside any window -- is one
-    vectorised membership test; when a window does bind, a single
+    because issue times never decrease -- strictly increasing on a
+    single-issue machine, non-decreasing within a superscalar issue
+    group), with ``end = 0`` marking runs where a load did not exceed
+    the limit.  The common case -- no run is inside any window -- is
+    one vectorised membership test; when a window does bind, a single
     forward pass in issue order reaches the scalar simulator's fixed
     point: once a window has pushed ``t`` past its end, only windows
     with *later* starts can still contain ``t``, and those are visited
@@ -136,7 +140,7 @@ class _WindowBuffer:
 
     def _prune(self, t: np.ndarray) -> None:
         """Drop windows finished in every run (they can never trigger
-        again: per-run issue times are strictly increasing)."""
+        again: per-run issue times never decrease)."""
         keep = (self.ends > t).any(axis=1)
         if keep.all():
             return
@@ -151,11 +155,45 @@ class _WindowBuffer:
 def batch_native(processor: ProcessorModel) -> bool:
     """Does :func:`simulate_block_batch` vectorize this model natively?
 
-    Multi-issue models fall back to looping over the scalar simulator
-    (results are identical either way); the verification fuzzer uses
-    this to label which path a scalar/batch comparison exercised.
+    Always ``True`` since the superscalar kernel landed: every
+    processor model -- including ``issue_width > 1`` -- runs on a
+    vector path, and no scalar fallback remains.  Kept because the
+    verification fuzzer and older callers use it to label which path a
+    scalar/batch comparison exercised.
     """
-    return processor.issue_width == 1
+    return True
+
+
+#: One step of the executed (non-NOP) sequence: ``(is_load, use
+#: register rows, def register rows, static latency)`` with registers
+#: densely indexed per block.
+_Step = Tuple[bool, Tuple[int, ...], Tuple[int, ...], int]
+
+
+def _index_steps(executed: Sequence[Instruction]) -> Tuple[List[_Step], int]:
+    """Densely index the registers a block touches.
+
+    ``reg_ready[i]`` then is the ``(runs,)`` ready-time vector of the
+    i-th distinct register, so operand lookups inside the kernels are
+    row slices, not dict probes.
+    """
+    reg_index: dict = {}
+    steps: List[_Step] = []
+    for inst in executed:
+        uses = []
+        for reg in inst.all_uses():
+            idx = reg_index.get(reg)
+            if idx is None:
+                idx = reg_index[reg] = len(reg_index)
+            uses.append(idx)
+        defs = []
+        for reg in inst.defs:
+            idx = reg_index.get(reg)
+            if idx is None:
+                idx = reg_index[reg] = len(reg_index)
+            defs.append(idx)
+        steps.append((inst.is_load, tuple(uses), tuple(defs), inst.latency))
+    return steps, len(reg_index)
 
 
 def simulate_block_batch(
@@ -177,7 +215,7 @@ def simulate_block_batch(
 
     # Malformed-input handling mirrors the scalar ``simulate_block``
     # exactly (same exception types and messages), and runs *before*
-    # the superscalar fallback so every processor model agrees; see
+    # either fast path so every processor model agrees; see
     # tests/simulate/test_malformed_inputs.py.  Extra trailing latency
     # columns are permitted and ignored, like extra scalar entries.
     executed = [i for i in instructions if i.opcode is not Opcode.NOP]
@@ -195,33 +233,35 @@ def simulate_block_batch(
             f"negative load latency {int(used[run, load])} at load {load}"
         )
 
-    if processor.issue_width > 1:
-        return _scalar_fallback(instructions, latencies, processor)
-
     if runs == 0:
         empty = np.zeros(0, dtype=np.int64)
         return BatchSimResult(empty, len(executed), empty.copy())
 
-    # Dense register indexing: reg_ready[i] is the (runs,) ready-time
-    # vector of the i-th distinct register touched by the block.
-    reg_index = {}
-    steps = []
-    for inst in executed:
-        uses = []
-        for reg in inst.all_uses():
-            idx = reg_index.get(reg)
-            if idx is None:
-                idx = reg_index[reg] = len(reg_index)
-            uses.append(idx)
-        defs = []
-        for reg in inst.defs:
-            idx = reg_index.get(reg)
-            if idx is None:
-                idx = reg_index[reg] = len(reg_index)
-            defs.append(idx)
-        steps.append((inst.is_load, tuple(uses), tuple(defs), inst.latency))
+    rec = _obs.get()
+    if rec is not None:
+        rec.metrics.inc(
+            "sim.batch_kernel",
+            runs,
+            kernel=(
+                "superscalar" if processor.issue_width > 1 else "single-issue"
+            ),
+        )
 
-    reg_ready = np.zeros((len(reg_index), runs), dtype=np.int64)
+    steps, n_regs = _index_steps(executed)
+    if processor.issue_width > 1:
+        return _superscalar_kernel(steps, n_regs, latencies, processor, runs)
+    return _single_issue_kernel(steps, n_regs, latencies, processor, runs)
+
+
+def _single_issue_kernel(
+    steps: Sequence[_Step],
+    n_regs: int,
+    latencies: np.ndarray,
+    processor: ProcessorModel,
+    runs: int,
+) -> BatchSimResult:
+    """The ``issue_width == 1`` recurrence (all four memory families)."""
+    reg_ready = np.zeros((n_regs, runs), dtype=np.int64)
     next_free = np.zeros(runs, dtype=np.int64)
     interlock = np.zeros(runs, dtype=np.int64)
 
@@ -286,21 +326,94 @@ def simulate_block_batch(
     )
 
 
-def _scalar_fallback(
-    instructions: Sequence[Instruction],
+def _superscalar_kernel(
+    steps: Sequence[_Step],
+    n_regs: int,
     latencies: np.ndarray,
     processor: ProcessorModel,
+    runs: int,
 ) -> BatchSimResult:
-    """Per-run scalar loop for models the vector path does not cover."""
-    runs = latencies.shape[0]
-    cycles = np.empty(runs, dtype=np.int64)
-    interlocks = np.empty(runs, dtype=np.int64)
-    issued = 0
-    for r in range(runs):
-        result = simulate_block(instructions, latencies[r], processor)
-        cycles[r] = result.cycles
-        interlocks[r] = result.interlock_cycles
-        issued = result.instructions
+    """The ``issue_width > 1`` recurrence (Section 6 extension).
+
+    Mirrors the scalar ``_simulate_superscalar`` cycle for cycle.  Per
+    run the state is the current issue cycle, the number of slots
+    already consumed in that cycle's issue group, and the count of
+    *busy* cycles (cycles in which at least one instruction issued).
+    An instruction's earliest issue is the current cycle -- or the next
+    one when the group is full -- pushed by operand readiness, the
+    MAX-n top-k bound and the LEN-n freeze windows, all of which are
+    the same ``(runs,)`` vector machinery as the single-issue kernel.
+    Whenever the issue time moves past the current cycle a fresh group
+    opens there; interlocks are whole cycles in which nothing issued,
+    so ``interlock = total_cycles - busy_cycles``.
+
+    Like the scalar superscalar path, ``blocking_loads`` is ignored at
+    ``issue_width > 1`` (no such model exists in the paper or the
+    suite); exact scalar/batch agreement is what the fuzz harness
+    pins, for blocking configurations too.
+    """
+    width = processor.issue_width
+    reg_ready = np.zeros((n_regs, runs), dtype=np.int64)
+    cycle = np.zeros(runs, dtype=np.int64)
+    slots_used = np.zeros(runs, dtype=np.int64)
+    busy = np.zeros(runs, dtype=np.int64)
+
+    max_out = processor.max_outstanding_loads
+    top = (
+        np.zeros((max_out, runs), dtype=np.int64)
+        if max_out is not None
+        else None
+    )
+    limit = processor.max_load_cycles
+    windows = _WindowBuffer() if limit is not None else None
+
+    maximum = np.maximum
+    col = 0
+    first = True
+    for is_load, uses, defs, static_latency in steps:
+        # Earliest slot: this cycle, or the next one if the current
+        # issue group is already full.
+        t = np.where(slots_used >= width, cycle + 1, cycle)
+        for u in uses:
+            maximum(t, reg_ready[u], out=t)
+
+        if is_load:
+            lat = latencies[:, col]
+            col += 1
+            if top is not None:
+                maximum(t, top[0], out=t)
+        if windows is not None:
+            t = windows.apply(t)
+
+        # ``t >= cycle`` always holds, so moving past the current
+        # cycle opens a fresh issue group at ``t``.
+        advanced = t > cycle
+        if first:
+            busy += 1
+            first = False
+        else:
+            busy += advanced
+        slots_used = np.where(advanced, 1, slots_used + 1)
+        cycle = t
+
+        if is_load:
+            completion = cycle + lat
+            if top is not None:
+                maximum(top[0], completion, out=top[0])
+                top.sort(axis=0)
+            if windows is not None:
+                over = lat > limit
+                if over.any():
+                    windows.push(cycle + limit, completion, over, cycle)
+        else:
+            completion = cycle + static_latency
+        for d in defs:
+            reg_ready[d] = completion
+
+    if steps:
+        total = cycle + 1
+    else:
+        total = np.zeros(runs, dtype=np.int64)
     return BatchSimResult(
-        cycles=cycles, instructions=issued, interlocks=interlocks
+        cycles=total, instructions=len(steps), interlocks=total - busy
     )

@@ -166,9 +166,16 @@ def _record_simulation_metrics(
     )
 
     if processor.issue_width != 1 or processor.blocking_loads:
+        # The official numbers above still come from the (vectorized)
+        # batch simulator; only the per-load breakdown is skipped, and
+        # the reason is recorded rather than silently folded in.
+        reason = (
+            "multi-issue" if processor.issue_width != 1
+            else "blocking-loads"
+        )
         metrics.inc(
             "sim.attribution_skipped", runs,
-            processor=processor.name, **labels,
+            processor=processor.name, reason=reason, **labels,
         )
         return
 

@@ -65,7 +65,12 @@ from ..simulate.simulator import simulate_block
 from .oracle import check_compiled
 
 #: One processor per constraint family the simulators special-case,
-#: plus tight variants that actually bind on small fuzz blocks.
+#: plus tight variants that actually bind on small fuzz blocks.  The
+#: superscalar draw crosses widths 2/4/8 with every memory-constraint
+#: family (the batch simulator's vectorized multi-issue kernel is
+#: checked against the scalar path like any other model; the BLOCKING
+#: cross pins that both paths ignore ``blocking_loads`` at width > 1,
+#: identically).
 FUZZ_PROCESSORS: Tuple[ProcessorModel, ...] = (
     UNLIMITED,
     MAX_8,
@@ -75,6 +80,17 @@ FUZZ_PROCESSORS: Tuple[ProcessorModel, ...] = (
     ProcessorModel("LEN-3", max_load_cycles=3),
     ProcessorModel("LEN-3+MAX-2", max_load_cycles=3, max_outstanding_loads=2),
     superscalar(2),
+    superscalar(4),
+    superscalar(8),
+    ProcessorModel("MAX-2x4", max_outstanding_loads=2, issue_width=4),
+    ProcessorModel("LEN-3x4", max_load_cycles=3, issue_width=4),
+    ProcessorModel(
+        "LEN-3+MAX-2x8",
+        max_load_cycles=3,
+        max_outstanding_loads=2,
+        issue_width=8,
+    ),
+    ProcessorModel("BLOCKINGx2", blocking_loads=True, issue_width=2),
 )
 
 #: One memory system per family (fixed / cache / network / mixed).

@@ -30,7 +30,9 @@ from repro.workloads.generator import random_block
 
 #: All processor models the paper uses, plus tighter MAX/LEN variants
 #: (small limits bind far more often than the paper's 8) and the
-#: superscalar extension that exercises the scalar fallback.
+#: Section 6 superscalar extension at widths 2/4/8 -- including
+#: width-crossed MAX/LEN limits -- which exercises the vectorized
+#: multi-issue kernel (there is no scalar fallback in the batch path).
 PROCESSORS = [
     UNLIMITED,
     MAX_8,
@@ -40,6 +42,17 @@ PROCESSORS = [
     ProcessorModel("LEN-3", max_load_cycles=3),
     ProcessorModel("LEN-3+MAX-2", max_load_cycles=3, max_outstanding_loads=2),
     superscalar(2),
+    superscalar(4),
+    superscalar(8),
+    superscalar(4, MAX_8),
+    superscalar(4, LEN_8),
+    ProcessorModel("MAX-2x4", max_outstanding_loads=2, issue_width=4),
+    ProcessorModel(
+        "LEN-3+MAX-2x8",
+        max_load_cycles=3,
+        max_outstanding_loads=2,
+        issue_width=8,
+    ),
 ]
 
 #: One memory system per family: cache (bimodal), network (normal),

@@ -20,6 +20,12 @@ from repro.core import BalancedScheduler
 from repro.core.pipeline import compile_program
 from repro.frontend import compile_minif
 from repro.frontend.printer import format_program_ast
+from repro.machine.processor import (
+    LEN_8,
+    MAX_8,
+    ProcessorModel,
+    superscalar,
+)
 from repro.simulate import (
     batch_native,
     simulate_block,
@@ -29,9 +35,12 @@ from repro.simulate.rng import spawn
 from repro.verify.fuzz import (
     FUZZ_MEMORIES,
     FUZZ_PROCESSORS,
+    Mismatch,
     check_source,
     random_ast,
+    write_artifact,
 )
+from repro.verify.shrink import shrink_source
 
 FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
 FIXTURES = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.mf")))
@@ -103,6 +112,118 @@ def test_empty_block_simulates_to_zero():
                 block, processor, FUZZ_MEMORIES[0],
                 key=("empty", block.name, processor.name),
             )
+
+
+# ----------------------------------------------------------------------
+# Superscalar: fuzz-generated programs, widths 2/4/8 crossed with every
+# memory family; failures are shrunk and written as replayable
+# artifacts under results/fuzz/ like any other fuzz finding.
+# ----------------------------------------------------------------------
+SUPERSCALAR_WIDTHS = (2, 4, 8)
+
+#: Artifact seed namespace for this test file (disjoint from CLI fuzz
+#: runs, so a written artifact is attributable at a glance).
+_ARTIFACT_SEED = 930601
+
+
+def _superscalar_processors(width):
+    """Every memory-constraint family at one issue width (BLOCKING
+    included: both simulators must agree to ignore ``blocking_loads``
+    at width > 1)."""
+    return (
+        superscalar(width),
+        superscalar(width, MAX_8),
+        superscalar(width, LEN_8),
+        ProcessorModel(
+            f"MAX-2x{width}", max_outstanding_loads=2, issue_width=width
+        ),
+        ProcessorModel(
+            f"LEN-3x{width}", max_load_cycles=3, issue_width=width
+        ),
+        ProcessorModel(
+            f"BLOCKINGx{width}", blocking_loads=True, issue_width=width
+        ),
+    )
+
+
+def _superscalar_mismatches(source, width, seed):
+    """Scalar-vs-batch divergences on every (block, processor, memory)
+    triple: the fuzz harness's cycles check, restricted to superscalar
+    models but crossing *all* memory families instead of rotating."""
+    program = compile_minif(source)
+    compiled = compile_program(program, BalancedScheduler())
+    mismatches = []
+    for block in compiled.final_blocks:
+        n_loads = len(block.loads)
+        for processor in _superscalar_processors(width):
+            for memory in FUZZ_MEMORIES:
+                rng = spawn(
+                    "fuzz-ss", seed, block.name, processor.name, memory.name
+                )
+                latencies = memory.sample_many(rng, n_loads * RUNS).reshape(
+                    RUNS, n_loads
+                )
+                batch = simulate_block_batch(
+                    block.instructions, latencies, processor
+                )
+                for run in range(RUNS):
+                    scalar = simulate_block(
+                        block.instructions,
+                        [int(x) for x in latencies[run]],
+                        processor,
+                    )
+                    if (
+                        scalar.cycles != int(batch.cycles[run])
+                        or scalar.interlock_cycles != int(batch.interlocks[run])
+                    ):
+                        mismatches.append(Mismatch(
+                            "cycles",
+                            f"superscalar scalar/batch divergence: block "
+                            f"{block.name}, {processor.name}, "
+                            f"{memory.name}, run {run}",
+                            expected=(
+                                f"cycles={scalar.cycles} "
+                                f"interlocks={scalar.interlock_cycles}"
+                            ),
+                            actual=(
+                                f"cycles={int(batch.cycles[run])} "
+                                f"interlocks={int(batch.interlocks[run])}"
+                            ),
+                        ))
+    return mismatches
+
+
+@pytest.mark.parametrize("width", SUPERSCALAR_WIDTHS)
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_superscalar_widths_across_memory_families(width, seed):
+    """Seeded fuzz programs through the real pipeline, then scalar vs.
+    batch on superscalar models at this width crossed with all four
+    memory families; a failure is shrunk and persisted as a replayable
+    ``results/fuzz/`` artifact before the test fails."""
+    ast = random_ast(
+        spawn("fuzz-superscalar-gen", width, seed), max_statements=4
+    )
+    source = format_program_ast(ast)
+    mismatches = _superscalar_mismatches(source, width, seed)
+    if mismatches:
+        shrunk = shrink_source(
+            source,
+            lambda text: bool(_superscalar_mismatches(text, width, seed)),
+        )
+        path = write_artifact(
+            os.path.join("results", "fuzz"),
+            _ARTIFACT_SEED,
+            width * 100 + seed,
+            source,
+            shrunk,
+            mismatches,
+            RUNS,
+        )
+        pytest.fail(
+            f"superscalar scalar/batch divergence (width {width}, seed "
+            f"{seed}); shrunk artifact written to {path}:\n"
+            + "\n".join(str(m) for m in mismatches[:5])
+        )
 
 
 @pytest.mark.parametrize("seed", range(10))

@@ -5,7 +5,7 @@ per-run scalar loop, and callers (the experiment engine, the trace
 simulator) catch errors by type and surface messages to users -- so
 the two paths must agree on *which* exception each malformed input
 raises and on the exact message, for every processor model including
-the superscalar fallback.  Extra trailing latencies are explicitly
+the vectorized superscalar kernel.  Extra trailing latencies are explicitly
 allowed in both paths (callers may share one oversized sample buffer
 across blocks) and must not change results.
 """
@@ -21,7 +21,15 @@ from repro.simulate.batch import simulate_block_batch
 
 A = MemRef(region="A", base=None, offset=0, affine_coeff=0)
 
-PROCESSORS = [UNLIMITED, MAX_8, LEN_8, BLOCKING, superscalar(2)]
+PROCESSORS = [
+    UNLIMITED,
+    MAX_8,
+    LEN_8,
+    BLOCKING,
+    superscalar(2),
+    superscalar(4),
+    superscalar(8, MAX_8),
+]
 
 RUNS = 3
 
