@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from .dag import CodeDAG
 from .reachability import bits
 from .unionfind import LevelUnionFind
@@ -43,9 +45,13 @@ def connected_components(dag: CodeDAG, mask: int, neighbor_masks: Sequence[int])
         while frontier:
             component |= frontier
             next_frontier = 0
-            for v in bits(frontier):
-                next_frontier |= neighbor_masks[v] & mask
-            frontier = next_frontier & ~component
+            # Inline bit extraction: this loop runs once per node per
+            # subgraph and generator overhead dominates it otherwise.
+            while frontier:
+                low = frontier & -frontier
+                next_frontier |= neighbor_masks[low.bit_length() - 1]
+                frontier ^= low
+            frontier = next_frontier & mask & ~component
         components.append(component)
         remaining &= ~component
     return components
@@ -71,6 +77,46 @@ def longest_load_path(dag: CodeDAG, component: int) -> int:
         if best[v] > chances:
             chances = best[v]
     return chances
+
+
+def batched_weighted_paths(
+    pred_lists: Sequence[Sequence[int]],
+    in_mask: np.ndarray,
+    weighted: Sequence[int],
+) -> np.ndarray:
+    """The ``Chances`` DP vectorised across many induced subgraphs.
+
+    ``in_mask`` is an ``(n, D)`` boolean matrix: column ``d`` is the
+    membership array of subgraph ``d``.  Returns ``B`` of the same
+    shape where ``B[v, d]`` is the maximum number of weighted nodes on
+    any path *ending at* ``v`` inside subgraph ``d`` (0 when ``v`` is
+    not a member).  One topological sweep over the nodes; each step is
+    a gather + max over all ``D`` subgraphs at once, so the Python
+    overhead is O(n) rather than O(n * D).
+
+    Masking is what makes a single shared sweep correct: a node outside
+    subgraph ``d`` has ``B[v, d] = 0`` and contributes nothing through
+    the ``max``, exactly as if the per-subgraph DP had skipped it --
+    except that a zero from an excluded predecessor is
+    indistinguishable from a zero-weight path, which is fine because
+    the DP only ever takes maxima of non-negative counts.
+    """
+    n, count = in_mask.shape
+    paths = np.zeros((n, count), dtype=np.int32)
+    for v in range(n):
+        preds = pred_lists[v]
+        weight = weighted[v]
+        if preds:
+            if len(preds) == 1:
+                through = paths[preds[0]]
+            else:
+                through = paths[preds].max(axis=0)
+            if weight:
+                through = through + weight
+            np.multiply(through, in_mask[v], out=paths[v])
+        elif weight:
+            np.multiply(weight, in_mask[v], out=paths[v], casting="unsafe")
+    return paths
 
 
 def component_loads(dag: CodeDAG, component: int) -> List[int]:

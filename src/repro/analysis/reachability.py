@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from .dag import CodeDAG
 
 
@@ -72,3 +74,67 @@ def bits(mask: int):
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+# ----------------------------------------------------------------------
+# Batched (matrix) form: all nodes at once, uint64 words
+# ----------------------------------------------------------------------
+def closure_matrix(dag: CodeDAG) -> Tuple[np.ndarray, np.ndarray]:
+    """Both closures as ``(n, W)`` uint64 bitset matrices.
+
+    ``W = ceil(n / 64)``; row ``v`` of the first matrix is
+    ``predecessor_closure(dag)[v]`` split into 64-bit words (little-end
+    word first), likewise for successors.  Same sweeps as the bigint
+    closures, but the rows feed directly into
+    :func:`independent_matrix`, which complements and unions *all*
+    rows in single vectorised operations.
+    """
+    n = len(dag)
+    width = max(1, (n + 63) >> 6)
+    pred_m = np.zeros((n, width), dtype=np.uint64)
+    succ_m = np.zeros((n, width), dtype=np.uint64)
+    one = np.uint64(1)
+    for v in reversed(range(n)):
+        row = succ_m[v]
+        for s in dag._succ[v]:
+            row |= succ_m[s]
+            row[s >> 6] |= one << np.uint64(s & 63)
+    for v in range(n):
+        row = pred_m[v]
+        for p in dag._pred[v]:
+            row |= pred_m[p]
+            row[p >> 6] |= one << np.uint64(p & 63)
+    return pred_m, succ_m
+
+
+def independent_matrix(
+    dag: CodeDAG, pred_m: np.ndarray, succ_m: np.ndarray
+) -> np.ndarray:
+    """Row ``i`` is the ``G_ind`` bitmask of node ``i``, in uint64 words.
+
+    The batched form of :func:`independent_mask`: one vectorised
+    complement of ``Pred | Succ | self`` over every node at once,
+    with the tail bits beyond ``n`` cleared so rows compare equal iff
+    the independent sets are equal.
+    """
+    n = len(dag)
+    ind = pred_m | succ_m
+    idx = np.arange(n)
+    ind[idx, idx >> 6] |= np.uint64(1) << (idx & 63).astype(np.uint64)
+    np.invert(ind, out=ind)
+    tail = n & 63
+    if tail:
+        ind[:, -1] &= np.uint64((1 << tail) - 1)
+    return ind
+
+
+def mask_from_words(words: bytes) -> int:
+    """Rebuild the bigint bitmask from a row's little-endian bytes."""
+    return int.from_bytes(words, "little")
+
+
+def mask_member_array(mask: int, n: int) -> np.ndarray:
+    """Bigint bitmask -> boolean membership array of length ``n``."""
+    width = max(1, (n + 63) >> 6)
+    raw = np.frombuffer(mask.to_bytes(width * 8, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:n].astype(bool)

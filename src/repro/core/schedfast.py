@@ -1,0 +1,417 @@
+"""Array-native fast path for the list scheduler.
+
+The reference implementation in :mod:`repro.core.scheduler` walks a
+``(seq, node)`` ready list under an exact :class:`fractions.Fraction`
+clock.  This module re-expresses one scheduling run over plain
+integers and packed ``int64`` selection keys so the per-slot work is a
+single ``argmax`` over a compact array plus O(degree) integer updates:
+
+* **Scaled-integer clock.**  All node weights and per-edge latency
+  overrides of one DAG are fractions; multiplying every latency by
+  ``L`` -- the LCM of their denominators, computed per block -- makes
+  every ready time, time advance and virtual-no-op span an exact
+  integer.  Dividing by ``L`` on the way out reconstructs the exact
+  Fractions the reference path produces, so results are byte-identical
+  (``Fraction(a*L, L)`` normalises to ``Fraction(a)``).
+* **Packed selection keys.**  Selection order is lexicographic:
+  priority, then the tie-break chain, then earliest discovery
+  (``seq``).  Priorities are rank-compressed to dense ints;
+  ``state_invariant`` tie-break columns are evaluated once per node
+  and rank-compressed; the dynamic ``exposed_count`` tie-break is
+  maintained incrementally (a neighbour's unscheduled count crossing
+  1 adjusts the exposure of every node it would expose); ``seq`` is
+  direction-mirrored into a larger-is-earlier field.  Each field gets
+  a bit range inside one non-negative ``int64``, so the lexicographic
+  comparison is a single integer comparison and the ready "list" is a
+  numpy key array: the winner is ``argmax`` over the live prefix.
+
+A plan is buildable only when every tie-break is either marked
+``state_invariant`` or is the known ``exposed_count`` function, and
+when the packed key fits 62 bits; :func:`build_plan` returns ``None``
+otherwise and the caller falls back to the reference path.  The
+equivalence is enforced by the property tests (schedules, no-op spans,
+slot maps and decision logs must match the reference exactly) and by
+the differential fuzz sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from heapq import heappop, heappush
+from math import gcd
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.dag import CodeDAG, DepKind
+
+#: Hard cap on the packed-key width.  int64 is signed; staying at 62
+#: bits keeps every key non-negative with headroom for the in-place
+#: exposure increments.
+_MAX_KEY_BITS = 62
+
+
+def _to_units(value, scale: int) -> Optional[int]:
+    """``value * scale`` as an exact int, or None if ``value`` is not
+    an int/Fraction (floats would break exactness)."""
+    if isinstance(value, Fraction):
+        return value.numerator * (scale // value.denominator)
+    if isinstance(value, int):
+        return value * scale
+    return None
+
+
+def _denominator(value) -> Optional[int]:
+    if isinstance(value, Fraction):
+        return value.denominator
+    if isinstance(value, int):
+        return 1
+    return None
+
+
+def _rank_compress(values: Sequence) -> Tuple[List[int], int]:
+    """Dense sort ranks of ``values`` (larger value -> larger rank) and
+    the maximum rank."""
+    distinct = sorted(set(values))
+    rank_of = {v: i for i, v in enumerate(distinct)}
+    return [rank_of[v] for v in values], len(distinct) - 1
+
+
+@dataclass
+class FastPlan:
+    """Everything one array-native scheduling run needs, precomputed."""
+
+    n: int
+    scale: int                      # L: the per-block clock multiplier
+    prio_units: List[int]           # critical-path priority * L
+    base_keys: List[int]            # static key part per node
+    exposed0: List[int]             # initial exposed_count per node
+    unscheduled0: List[int]         # initial unscheduled-neighbor counts
+    sched_targets: List[List[int]]  # counts to decrement on schedule
+    expose_targets: List[List[int]]  # exposure targets per neighbor
+    lat_edges: List[List[Tuple[int, int]]]  # ready-time edges (units)
+    exposed_shift: Optional[int]    # bit offset of the dynamic field
+    seq_shift: int
+    seq_top: int                    # seq field value = seq_top - seq
+    #: Raw tie-break value columns in chain order (static lists, or
+    #: None marking the dynamic exposed_count level) -- only consulted
+    #: by the observed path to narrate selections.
+    raw_columns: List[Optional[List]]
+
+
+def build_plan(
+    dag: CodeDAG,
+    tie_breaks: Sequence[Callable],
+    static_vals: Sequence[Optional[List]],
+    bottom_up: bool,
+    exposed_fn: Callable,
+) -> Optional[FastPlan]:
+    """Build the array-native plan for one run, or ``None`` when the
+    configuration needs the reference path (unknown dynamic tie-break,
+    non-rational weights, or a packed key wider than 62 bits)."""
+    n = len(dag)
+    if n == 0:
+        return None
+
+    # ---- the scaled-integer clock -----------------------------------
+    scale = 1
+    for w in dag.weights:
+        d = _denominator(w)
+        if d is None:
+            return None
+        scale = scale * d // gcd(scale, d)
+    overrides = dag._edge_latency
+    for value in overrides.values():
+        d = _denominator(value)
+        if d is None:
+            return None
+        scale = scale * d // gcd(scale, d)
+    weight_units = [_to_units(w, scale) for w in dag.weights]
+
+    # ---- adjacency --------------------------------------------------
+    # Only ``sched_targets`` needs the reference's sorted neighbour
+    # order (it fixes the discovery ``seq`` of newly exposed nodes);
+    # latency edges and exposure targets are consumed by max/sum
+    # reductions, so the raw dict order is fine and cheaper.
+    succ_dicts = dag._succ
+    pred_dicts = dag._pred
+    true_kind = DepKind.TRUE
+
+    def edge_units(src: int, dst: int, kind, src_units: int) -> int:
+        override = overrides.get((src, dst))
+        if override is not None:
+            return _to_units(override, scale)
+        return src_units if kind is true_kind else scale
+
+    if bottom_up:
+        sched_targets = [sorted(pred_dicts[v]) for v in range(n)]
+        expose_targets = [list(succ_dicts[v]) for v in range(n)]
+        unscheduled0 = [len(succ_dicts[v]) for v in range(n)]
+        if overrides:
+            lat_edges = [
+                [
+                    (s, edge_units(v, s, kind, weight_units[v]))
+                    for s, kind in succ_dicts[v].items()
+                ]
+                for v in range(n)
+            ]
+        else:
+            lat_edges = [
+                [
+                    (s, weight_units[v] if kind is true_kind else scale)
+                    for s, kind in succ_dicts[v].items()
+                ]
+                for v in range(n)
+            ]
+    else:
+        sched_targets = [sorted(succ_dicts[v]) for v in range(n)]
+        expose_targets = [list(pred_dicts[v]) for v in range(n)]
+        unscheduled0 = [len(pred_dicts[v]) for v in range(n)]
+        if overrides:
+            lat_edges = [
+                [
+                    (p, edge_units(p, v, kind, weight_units[p]))
+                    for p, kind in pred_dicts[v].items()
+                ]
+                for v in range(n)
+            ]
+        else:
+            lat_edges = [
+                [
+                    (p, weight_units[p] if kind is true_kind else scale)
+                    for p, kind in pred_dicts[v].items()
+                ]
+                for v in range(n)
+            ]
+    exposed0 = [0] * n
+    for p in range(n):
+        if unscheduled0[p] == 1:
+            for t in expose_targets[p]:
+                exposed0[t] += 1
+
+    # ---- rank-compressed priority (critical path in clock units) ----
+    prio_units = [0] * n
+    for v in reversed(range(n)):
+        best = 0
+        for s in succ_dicts[v]:
+            u = prio_units[s]
+            if u > best:
+                best = u
+        prio_units[v] = weight_units[v] + best
+    prio_rank, prio_max = _rank_compress(prio_units)
+
+    # ---- tie-break columns ------------------------------------------
+    # Each level is either a static rank column or the single dynamic
+    # exposed_count field maintained incrementally by the run loop.
+    columns: List[Optional[Tuple[List[int], int]]] = []
+    raw_columns: List[Optional[List]] = []
+    dynamic_seen = False
+    for tb, vals in zip(tie_breaks, static_vals):
+        if vals is not None:
+            ranks, top = _rank_compress(vals)
+            columns.append((ranks, top))
+            raw_columns.append(list(vals))
+        elif tb is exposed_fn and not dynamic_seen:
+            dynamic_seen = True
+            columns.append(None)
+            raw_columns.append(None)
+        else:
+            return None  # unknown dynamic tie-break: reference path
+
+    # ---- key packing: prio | tb levels... | seq ---------------------
+    max_exposed = max((len(t) for t in sched_targets), default=0)
+    seq_top = n - 1
+    fields: List[int] = [prio_max.bit_length()]
+    for col in columns:
+        if col is None:
+            fields.append(max_exposed.bit_length())
+        else:
+            fields.append(col[1].bit_length())
+    fields.append(seq_top.bit_length())
+    if sum(fields) > _MAX_KEY_BITS:
+        return None
+
+    shifts: List[int] = []
+    offset = 0
+    for width in reversed(fields):
+        shifts.append(offset)
+        offset += width
+    shifts.reverse()
+    prio_shift, level_shifts, seq_shift = shifts[0], shifts[1:-1], shifts[-1]
+
+    exposed_shift = None
+    base_keys = [r << prio_shift for r in prio_rank]
+    for col, shift in zip(columns, level_shifts):
+        if col is None:
+            exposed_shift = shift
+            continue
+        ranks = col[0]
+        for v in range(n):
+            base_keys[v] |= ranks[v] << shift
+
+    return FastPlan(
+        n=n,
+        scale=scale,
+        prio_units=prio_units,
+        base_keys=base_keys,
+        exposed0=exposed0,
+        unscheduled0=unscheduled0,
+        sched_targets=sched_targets,
+        expose_targets=expose_targets,
+        lat_edges=lat_edges,
+        exposed_shift=exposed_shift,
+        seq_shift=seq_shift,
+        seq_top=seq_top,
+        raw_columns=raw_columns,
+    )
+
+
+def run_plan(
+    plan: FastPlan,
+    observe: Optional[Callable[[List[Tuple[int, int]], int, str, int], None]],
+    tie_breaks: Sequence[Callable] = (),
+) -> Tuple[List[int], List[int], int]:
+    """Execute one scheduling run over a :class:`FastPlan`.
+
+    Returns ``(placement, slot_units, noop_units)``: node indices in
+    placement order, each node's slot in clock units, and the virtual
+    no-op span in clock units.  ``observe``, when given, is called per
+    slot with the ready list in discovery order, the chosen node, the
+    selection reason and the integer time -- the observed path derives
+    decision-log records from it.
+    """
+    n = plan.n
+    scale = plan.scale
+    unscheduled = list(plan.unscheduled0)
+    exposed = list(plan.exposed0)
+    base_keys = plan.base_keys
+    exposed_shift = plan.exposed_shift
+    seq_shift = plan.seq_shift
+    seq_top = plan.seq_top
+    exposed_one = (1 << exposed_shift) if exposed_shift is not None else 0
+
+    keys = np.zeros(n, dtype=np.int64)
+    rnodes: List[int] = [0] * n            # ready prefix [0:rsize]
+    pos = [-1] * n                         # node -> index into rnodes
+    seq_of = [0] * n
+    rsize = 0
+
+    def make_key(v: int, seq: int) -> int:
+        key = base_keys[v] | ((seq_top - seq) << seq_shift)
+        if exposed_shift is not None:
+            key |= exposed[v] << exposed_shift
+        return key
+
+    def add_ready(v: int, seq: int) -> None:
+        nonlocal rsize
+        keys[rsize] = make_key(v, seq)
+        rnodes[rsize] = v
+        pos[v] = rsize
+        rsize += 1
+
+    pending: List[Tuple[int, int, int]] = []
+    seq = 0
+    for v in range(n):
+        if unscheduled[v] == 0:
+            seq_of[v] = seq
+            add_ready(v, seq)
+            seq += 1
+
+    slot_units = [0] * n
+    placement: List[int] = []
+    time = 0
+    noop_units = 0
+    sched_targets = plan.sched_targets
+    expose_targets = plan.expose_targets
+    lat_edges = plan.lat_edges
+
+    while len(placement) < n:
+        while pending and pending[0][0] <= time:
+            _, s, v = heappop(pending)
+            add_ready(v, s)
+        if rsize == 0:
+            next_time = pending[0][0]
+            noop_units += next_time - time
+            time = next_time
+            continue
+
+        if observe is not None:
+            ready_pairs = sorted((seq_of[v], v) for v in rnodes[:rsize])
+            chosen, reason = _explain(plan, exposed, ready_pairs, tie_breaks)
+            observe(ready_pairs, chosen, reason, time)
+        elif rsize == 1:
+            chosen = rnodes[0]
+        else:
+            chosen = rnodes[keys[:rsize].argmax()]
+
+        # Swap-remove the winner from the ready prefix.
+        i = pos[chosen]
+        last = rsize - 1
+        moved = rnodes[last]
+        rnodes[i] = moved
+        keys[i] = keys[last]
+        pos[moved] = i
+        pos[chosen] = -1
+        rsize = last
+
+        slot_units[chosen] = time
+        placement.append(chosen)
+        time += scale
+
+        for neighbor in sched_targets[chosen]:
+            count = unscheduled[neighbor] - 1
+            unscheduled[neighbor] = count
+            if count == 1:
+                for t in expose_targets[neighbor]:
+                    exposed[t] += 1
+                    p = pos[t]
+                    if p >= 0:
+                        keys[p] += exposed_one
+            elif count == 0:
+                for t in expose_targets[neighbor]:
+                    exposed[t] -= 1
+                    p = pos[t]
+                    if p >= 0:
+                        keys[p] -= exposed_one
+                ready_at = 0
+                for u, lat in lat_edges[neighbor]:
+                    candidate = slot_units[u] + lat
+                    if candidate > ready_at:
+                        ready_at = candidate
+                seq_of[neighbor] = seq
+                if ready_at <= time:
+                    add_ready(neighbor, seq)
+                else:
+                    heappush(pending, (ready_at, seq, neighbor))
+                seq += 1
+
+    return placement, slot_units, noop_units
+
+
+def _explain(
+    plan: FastPlan,
+    exposed: List[int],
+    ready_pairs: List[Tuple[int, int]],
+    tie_breaks: Sequence[Callable],
+) -> Tuple[int, str]:
+    """The reference ``_explain_selection`` re-derived from plan data:
+    narrow the co-leader set level by level and name the level that
+    decided.  Only runs under observability."""
+    if len(ready_pairs) == 1:
+        return ready_pairs[0][1], "only-candidate"
+    prio = plan.prio_units
+    best = max(prio[node] for _s, node in ready_pairs)
+    tied = [pair for pair in ready_pairs if prio[pair[1]] == best]
+    if len(tied) == 1:
+        return tied[0][1], "priority"
+    for tb, column in zip(tie_breaks, plan.raw_columns):
+        if column is None:
+            values = [exposed[node] for _s, node in tied]
+        else:
+            values = [column[node] for _s, node in tied]
+        best_v = max(values)
+        tied = [pair for pair, v in zip(tied, values) if v == best_v]
+        if len(tied) == 1:
+            return tied[0][1], f"tie-break:{tb.__name__}"
+    return tied[0][1], "discovery-order"

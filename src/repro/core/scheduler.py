@@ -54,6 +54,7 @@ from ..analysis.dag import CodeDAG
 from ..ir.block import BasicBlock
 from ..obs import recorder as _obs
 from ..obs.decisions import Candidate, Decision
+from . import schedfast
 
 Weight = Union[int, Fraction]
 
@@ -176,13 +177,9 @@ class _SchedulerState:
         self.dag = dag
         self.direction = direction
         if direction is Direction.BOTTOM_UP:
-            self.unscheduled_neighbors = [
-                len(dag.successors(v)) for v in dag.nodes()
-            ]
+            self.unscheduled_neighbors = [len(s) for s in dag._succ]
         else:
-            self.unscheduled_neighbors = [
-                len(dag.predecessors(v)) for v in dag.nodes()
-            ]
+            self.unscheduled_neighbors = [len(p) for p in dag._pred]
         self.slot: Dict[int, Fraction] = {}
         self.ready_time: Dict[int, Fraction] = {}
 
@@ -225,6 +222,108 @@ class ListScheduler:
         self, dag: CodeDAG, block: Optional[BasicBlock] = None
     ) -> ScheduleResult:
         """Schedule ``dag``; if ``block`` given, also emit the reordered block.
+
+        Dispatches to the array-native engine (:mod:`repro.core.
+        schedfast`: packed int64 selection keys over a scaled-integer
+        clock) whenever the tie-break chain is expressible there --
+        every tie-break ``state_invariant`` or the known
+        ``exposed_count`` -- and falls back to the reference
+        ``Fraction`` path otherwise.  Both engines produce byte-
+        identical results; the property tests and the differential
+        fuzz sweep hold them together.
+        """
+        plan = None
+        static_vals: List[Optional[List]] = []
+        if len(dag) > 0:
+            state = _SchedulerState(dag, self.direction)
+            static_vals = [
+                [tb(state, v) for v in range(len(dag))]
+                if getattr(tb, "state_invariant", False)
+                else None
+                for tb in self.tie_breaks
+            ]
+            plan = schedfast.build_plan(
+                dag,
+                self.tie_breaks,
+                static_vals,
+                self.direction is Direction.BOTTOM_UP,
+                exposed_count,
+            )
+        rec = _obs.get()
+        if plan is None:
+            if rec is not None:
+                rec.metrics.inc("sched.fast_path", 1, engine="reference")
+            return self._schedule_reference(dag, block, rec)
+        if rec is not None:
+            rec.metrics.inc("sched.fast_path", 1, engine="fast")
+        return self._schedule_fast(dag, block, plan, rec)
+
+    def _schedule_fast(
+        self,
+        dag: CodeDAG,
+        block: Optional[BasicBlock],
+        plan: "schedfast.FastPlan",
+        rec,
+    ) -> ScheduleResult:
+        """Run the array-native engine and reconstruct the exact
+        ``Fraction`` result surface (slots, no-op span, priorities)."""
+        scale = plan.scale
+        observe = None
+        if rec is not None:
+            block_label = (
+                block.name if block is not None else None
+            ) or str(rec.context().get("block", "?"))
+            metrics = rec.metrics
+            log = rec.decisions
+            instructions = dag.instructions
+            priority_text = [str(Fraction(u, scale)) for u in plan.prio_units]
+            step_box = [0]
+
+            def observe(ready_pairs, chosen, reason, time_units):
+                metrics.observe(
+                    "sched.ready_size", len(ready_pairs), block=block_label
+                )
+                metrics.inc(
+                    "sched.select_reason", 1, block=block_label, reason=reason
+                )
+                if log is not None:
+                    log.record(
+                        Decision(
+                            block=block_label,
+                            step=step_box[0],
+                            time=str(Fraction(time_units, scale)),
+                            chosen=chosen,
+                            reason=reason,
+                            candidates=tuple(
+                                Candidate(
+                                    node=node,
+                                    priority=priority_text[node],
+                                    text=str(instructions[node]),
+                                )
+                                for _s, node in ready_pairs
+                            ),
+                        )
+                    )
+                step_box[0] += 1
+
+        placement, slot_units, noop_units = schedfast.run_plan(
+            plan, observe, self.tie_breaks
+        )
+        bottom_up = self.direction is Direction.BOTTOM_UP
+        order = list(reversed(placement)) if bottom_up else placement
+        return ScheduleResult(
+            order=order,
+            block=self._emit(dag, order, block),
+            noop_span=Fraction(noop_units, scale),
+            priorities=[Fraction(u, scale) for u in plan.prio_units],
+            slots={v: Fraction(slot_units[v], scale) for v in placement},
+        )
+
+    def _schedule_reference(
+        self, dag: CodeDAG, block: Optional[BasicBlock], rec
+    ) -> ScheduleResult:
+        """The reference engine (exact ``Fraction`` clock; the oracle
+        the fast path is tested against).
 
         Hot-path layout: exposed-but-not-yet-ready nodes wait in a heap
         keyed by ready time; ready nodes live in a list kept in global
@@ -274,10 +373,9 @@ class ListScheduler:
         placement: List[int] = []
         bottom_up = self.direction is Direction.BOTTOM_UP
 
-        # Observability: one global read per schedule() call; the
-        # ``rec is None`` branch below is the only per-slot cost when
-        # disabled, keeping the hot path at benchmark speed.
-        rec = _obs.get()
+        # Observability: the recorder is read once per schedule() call
+        # by the dispatcher; the ``rec is None`` branch below is the
+        # only per-slot cost when disabled.
         block_label = None
         if rec is not None:
             block_label = (block.name if block is not None else None) or str(
@@ -365,8 +463,12 @@ class ListScheduler:
                 if tied is None:
                     tied = [(best_i, ready[best_i][1])]
                 tied.append((i, node))
+        # With no co-leaders there is nothing to break; with an empty
+        # tie-break chain the earliest co-leader wins -- and that is
+        # ``best_i`` in both cases (``tied[0]`` is always
+        # ``(best_i, ...)``: co-leaders are collected in scan order).
         if tied is None or not tie_breaks:
-            return tied[0][0] if tied else best_i
+            return best_i
 
         def key(node: int) -> Tuple:
             return tuple(

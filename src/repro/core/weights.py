@@ -24,10 +24,16 @@ example in the paper's Table 1 produces twelfths.
 
 Two implementations are provided and cross-checked by the test suite:
 
-* :func:`balanced_weights` -- bitset closures + bitmask connected
-  components + a topological DP for ``Chances``; this is the paper's
-  O(n^2 * alpha(n)) structure realised with word-parallel set
-  operations.
+* :func:`balanced_weights` -- batched over all contributors at once:
+  uint64 bitset *matrices* for the closures and independent sets,
+  structurally identical ``(G_ind, IssueSlots)`` pairs deduplicated
+  and computed once (unrolled blocks repeat them heavily), and a
+  single topological ``Chances`` DP sweep vectorised across every
+  distinct subgraph.  Contributions accumulate as integer
+  ``(slots, chances) -> count`` tables and are converted to exact
+  rationals once per load at the end -- byte-identical to per-``i``
+  accumulation because Fraction arithmetic is exact, commutative and
+  associative.
 * :func:`balanced_weights_reference` -- a deliberately naive
   re-derivation (per-``i`` BFS closures, BFS components, path DP over
   an explicit node list) used as a correctness oracle.
@@ -36,15 +42,26 @@ Two implementations are provided and cross-checked by the test suite:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..analysis.components import (
+    batched_weighted_paths,
     component_loads,
     connected_components,
     longest_load_path,
 )
 from ..analysis.dag import CodeDAG
-from ..analysis.reachability import bits, closures, independent_mask
+from ..analysis.reachability import (
+    closure_matrix,
+    closures,
+    independent_mask,
+    independent_matrix,
+    mask_from_words,
+    mask_member_array,
+)
+from ..obs import recorder as _obs
 
 
 #: Predicate selecting which nodes receive balanced weights.  The
@@ -75,47 +92,86 @@ def balanced_weights(
     if not load_nodes:
         return weights
 
-    pred_masks, succ_masks = closures(dag)
+    n = len(dag)
+    pred_m, succ_m = closure_matrix(dag)
+    ind_matrix = independent_matrix(dag, pred_m, succ_m)
     neighbor_masks = dag.undirected_neighbor_masks()
     load_mask = 0
+    weighted_arr = [0] * n
     for l in load_nodes:
         load_mask |= 1 << l
+        weighted_arr[l] = 1
 
+    # Group the contributors: two instructions with the same G_ind and
+    # the same issue width make byte-identical contributions, so the
+    # component/Chances work runs once per distinct (G_ind, slots) pair
+    # and the result is multiplied by the group size.  Exact, because
+    # Fraction addition is commutative and associative.  Rows with no
+    # independent load are dropped up front (Figure 6 contributes
+    # nothing for them).
+    load_words = np.frombuffer(
+        load_mask.to_bytes(ind_matrix.shape[1] * 8, "little"), dtype=np.uint64
+    )
+    has_load = (ind_matrix & load_words).any(axis=1)
+    groups: Dict[Tuple[bytes, int], int] = {}
+    considered = 0
     for i in dag.nodes():
-        ind = independent_mask(dag, i, pred_masks, succ_masks)
-        if not ind & load_mask:
-            continue  # no load can run in parallel with i
-        slots = dag.issue_slots(i)
-        for component in connected_components(dag, ind, neighbor_masks):
-            if not component & load_mask:
-                continue
-            chances = _longest_weighted_path(dag, component, load_mask)
-            contribution = Fraction(slots, chances)
-            for l in _component_weighted(component, load_mask):
-                weights[l] += contribution
+        if not has_load[i]:
+            continue
+        considered += 1
+        key = (ind_matrix[i].tobytes(), dag.issue_slots(i))
+        groups[key] = groups.get(key, 0) + 1
+    rec = _obs.get()
+    if rec is not None:
+        rec.metrics.inc("sched.gind_memo_hits", considered - len(groups))
+
+    # Contributions accumulate in integer space first -- per issue
+    # width, a (load, chances) -> count matrix -- and become Fractions
+    # once per distinct denominator at the end, instead of one exact
+    # rational addition per (i, component, load) triple.
+    load_idx = np.array(load_nodes, dtype=np.intp)
+    counts: Dict[int, np.ndarray] = {}
+    group_items = list(groups.items())
+    pred_lists = [list(dag._pred[v]) for v in range(n)]
+    # Chunk the mask axis so the DP matrix stays modest for huge DAGs.
+    chunk = max(1, 8_000_000 // max(n, 1))
+    for start in range(0, len(group_items), chunk):
+        batch = group_items[start : start + chunk]
+        member = np.ascontiguousarray(
+            np.unpackbits(
+                np.frombuffer(
+                    b"".join(key for (key, _slots) in (g[0] for g in batch)),
+                    dtype=np.uint8,
+                ).reshape(len(batch), -1),
+                axis=1,
+                bitorder="little",
+            )[:, :n].T
+        ).astype(bool)
+        paths = batched_weighted_paths(pred_lists, member, weighted_arr)
+        for column, ((key, slots), multiplicity) in enumerate(batch):
+            ind = mask_from_words(key)
+            per_mask = np.ascontiguousarray(paths[:, column])
+            matrix = counts.get(slots)
+            if matrix is None:
+                matrix = counts[slots] = np.zeros(
+                    (len(load_nodes), n + 1), dtype=np.int64
+                )
+            for component in connected_components(dag, ind, neighbor_masks):
+                if not component & load_mask:
+                    continue
+                comp_member = mask_member_array(component, n)
+                comp_load_rows = np.flatnonzero(comp_member[load_idx])
+                chances = int(per_mask[comp_member].max())
+                matrix[comp_load_rows, chances] += multiplicity
+
+    for slots, matrix in counts.items():
+        for row, l in enumerate(load_nodes):
+            entries = matrix[row]
+            for chances in np.flatnonzero(entries):
+                weights[l] += Fraction(
+                    slots * int(entries[chances]), int(chances)
+                )
     return weights
-
-
-def _component_weighted(component: int, weighted_mask: int) -> List[int]:
-    """Weighted nodes inside a component bitmask."""
-    return list(bits(component & weighted_mask))
-
-
-def _longest_weighted_path(dag: CodeDAG, component: int, weighted_mask: int) -> int:
-    """``Chances`` generalised: max weighted nodes on any path."""
-    best: Dict[int, int] = {}
-    chances = 0
-    for v in bits(component):
-        through = 0
-        for p in dag.predecessors(v):
-            if component >> p & 1:
-                value = best.get(p, 0)
-                if value > through:
-                    through = value
-        best[v] = through + (1 if weighted_mask >> v & 1 else 0)
-        if best[v] > chances:
-            chances = best[v]
-    return chances
 
 
 def contribution_matrix(dag: CodeDAG) -> Dict[int, Dict[int, Fraction]]:

@@ -1,0 +1,536 @@
+"""Shared-memory scheduling engine: flat DAG wire format + pool fan-out.
+
+The experiment pool distributes work as :class:`~.common.CellSpec`
+values -- programs travel by *name* and every worker recompiles them.
+That is the right trade for table cells (compilation is the cheap
+part), but the fan-outs on the ROADMAP (scheduling-as-a-service, the
+ablation engine sweeping scheduler variants over a fixed program)
+invert it: the DAGs are already built and weighted in the parent, and
+what crosses the process boundary per task must not be a pickle of
+every ``Instruction``/``CodeDAG`` object graph.
+
+This module gives those fan-outs an array-native wire format:
+
+* :func:`encode_blocks` flattens blocks and their DAGs into one
+  contiguous int64 payload -- CSR edge arrays (``succ_ptr`` /
+  ``succ_dst`` / ``succ_kind``), opcode/latency/ident/tag tables,
+  defs/uses register tables (CSR over an interned register table),
+  memory operands, live-in/live-out lists, and exact weights as
+  numerator/denominator pairs -- and places it in a
+  :mod:`multiprocessing.shared_memory` segment.  Strings (block names,
+  memory regions, tags) are interned once per arena into a small
+  pickled directory at the head of the segment.
+* :class:`ArenaReader` attaches to a segment by name and rebuilds
+  ``(BasicBlock, CodeDAG)`` pairs from the buffers -- no unpickling of
+  instruction objects, one attach per worker process.
+* :func:`schedule_blocks` is the fan-out entry point: tasks are
+  ``(arena name, block index)`` handles, workers reconstruct from
+  shared memory, schedule, and ship back only the slim outcome
+  (order, no-op span, priorities, slots).  Blocks are re-emitted in
+  the parent, so instruction objects never cross a process boundary
+  in either direction.
+
+Exactness: weights and per-edge latency overrides are
+:class:`~fractions.Fraction` values; they travel as int64
+numerator/denominator pairs (with a pickled escape hatch for values
+that overflow int64, which no real block produces) and reconstruct to
+equal values, so pooled scheduling is byte-identical to inline
+scheduling -- the engine property tests assert it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass, field
+from fractions import Fraction
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.dag import CodeDAG, DepKind
+from ..core.scheduler import ListScheduler, ScheduleResult
+from ..ir.block import BasicBlock
+from ..ir.instructions import Instruction, Opcode
+from ..ir.operands import (
+    Immediate,
+    MemRef,
+    PhysReg,
+    Register,
+    RegClass,
+    VirtualReg,
+)
+from .common import pool_map
+
+_OPCODES = list(Opcode)
+_OPCODE_CODE = {op: code for code, op in enumerate(_OPCODES)}
+_KINDS = list(DepKind)
+_KIND_CODE = {kind: code for code, kind in enumerate(_KINDS)}
+_RCLASSES = list(RegClass)
+_RCLASS_CODE = {rclass: code for code, rclass in enumerate(_RCLASSES)}
+
+#: ``affine_coeff is None`` on the wire (no valid coefficient is near it).
+_NONE_COEFF = -(1 << 62)
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: Segment header: payload offset of the int64 array (the pickled
+#: directory sits between the header and the payload).
+_HEADER = struct.Struct("<qq")  # (directory length, payload offset)
+
+
+def _fits(value: int) -> bool:
+    return _INT64_MIN <= value <= _INT64_MAX
+
+
+class _Packer:
+    """Append int64 arrays to one payload, remembering each slice."""
+
+    def __init__(self) -> None:
+        self._chunks: List[np.ndarray] = []
+        self._length = 0
+
+    def put(self, values) -> Tuple[int, int]:
+        arr = np.asarray(list(values), dtype=np.int64).ravel()
+        slot = (self._length, arr.size)
+        self._chunks.append(arr)
+        self._length += arr.size
+        return slot
+
+    def payload(self) -> np.ndarray:
+        if not self._chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self._chunks)
+
+
+@dataclass
+class _BlockDirectory:
+    """Per-block directory: payload slices plus the non-numeric bits."""
+
+    name: str
+    frequency: float
+    n: int
+    slots: Dict[str, Tuple[int, int]]
+    #: Escape hatch for weights / overrides too large for int64 words.
+    big_weights: Dict[int, Fraction] = field(default_factory=dict)
+    big_overrides: Dict[Tuple[int, int], Fraction] = field(default_factory=dict)
+
+
+@dataclass
+class _ArenaDirectory:
+    """The pickled head of a segment: everything that is not int64."""
+
+    strings: List[str]
+    reg_slot: Tuple[int, int]
+    blocks: List[_BlockDirectory]
+
+
+class BlockArena:
+    """An owned shared-memory segment of encoded blocks."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, count: int):
+        self._shm = shm
+        self.count = count
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def dispose(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double dispose
+                pass
+            self._shm = None
+
+
+def _frac_parts(value) -> Tuple[int, int]:
+    frac = Fraction(value)
+    return frac.numerator, frac.denominator
+
+
+def encode_blocks(
+    blocks: Sequence[BasicBlock], dags: Sequence[CodeDAG]
+) -> BlockArena:
+    """Flatten ``(block, dag)`` pairs into one shared-memory arena."""
+    if len(blocks) != len(dags):
+        raise ValueError("need exactly one DAG per block")
+    packer = _Packer()
+    strings: List[str] = []
+    string_ids: Dict[str, int] = {}
+    registers: List[Register] = []
+    register_ids: Dict[Register, int] = {}
+
+    def intern_string(text: str) -> int:
+        code = string_ids.get(text)
+        if code is None:
+            code = string_ids[text] = len(strings)
+            strings.append(text)
+        return code
+
+    def intern_reg(reg: Register) -> int:
+        code = register_ids.get(reg)
+        if code is None:
+            code = register_ids[reg] = len(registers)
+            registers.append(reg)
+        return code
+
+    directories: List[_BlockDirectory] = []
+    for block, dag in zip(blocks, dags):
+        if list(dag.instructions) != list(block.instructions):
+            raise ValueError(
+                f"DAG of block {block.name!r} was built from different "
+                f"instructions"
+            )
+        n = len(block)
+        directory = _BlockDirectory(
+            name=block.name, frequency=block.frequency, n=n, slots={}
+        )
+        slots = directory.slots
+
+        op = [0] * n
+        lat = [0] * n
+        ident = [0] * n
+        tag = [0] * n
+        imm_flag = [0] * n
+        imm_val = [0] * n
+        mem_flag = [0] * n
+        mem_region = [0] * n
+        mem_base = [0] * n
+        mem_off = [0] * n
+        mem_coeff = [0] * n
+        defs_ptr = [0] * (n + 1)
+        defs_reg: List[int] = []
+        uses_ptr = [0] * (n + 1)
+        uses_reg: List[int] = []
+        for v, inst in enumerate(block.instructions):
+            op[v] = _OPCODE_CODE[inst.opcode]
+            lat[v] = inst.latency
+            ident[v] = inst.ident
+            tag[v] = intern_string(inst.tag)
+            if inst.imm is not None:
+                imm_flag[v] = 1
+                imm_val[v] = inst.imm.value
+            if inst.mem is not None:
+                mem_flag[v] = 1
+                mem_region[v] = intern_string(inst.mem.region)
+                mem_base[v] = (
+                    intern_reg(inst.mem.base) if inst.mem.base is not None else -1
+                )
+                mem_off[v] = inst.mem.offset
+                mem_coeff[v] = (
+                    inst.mem.affine_coeff
+                    if inst.mem.affine_coeff is not None
+                    else _NONE_COEFF
+                )
+            defs_reg.extend(intern_reg(r) for r in inst.defs)
+            defs_ptr[v + 1] = len(defs_reg)
+            uses_reg.extend(intern_reg(r) for r in inst.uses)
+            uses_ptr[v + 1] = len(uses_reg)
+
+        succ_ptr = [0] * (n + 1)
+        succ_dst: List[int] = []
+        succ_kind: List[int] = []
+        for v in range(n):
+            for dst, kind in sorted(dag._succ[v].items()):
+                succ_dst.append(dst)
+                succ_kind.append(_KIND_CODE[kind])
+            succ_ptr[v + 1] = len(succ_dst)
+
+        wnum = [0] * n
+        wden = [1] * n
+        for v, weight in enumerate(dag.weights):
+            num, den = _frac_parts(weight)
+            if _fits(num) and _fits(den):
+                wnum[v], wden[v] = num, den
+            else:  # pragma: no cover - pathological weights
+                directory.big_weights[v] = Fraction(weight)
+
+        overrides: List[int] = []
+        for (src, dst), latency in sorted(dag._edge_latency.items()):
+            num, den = _frac_parts(latency)
+            if _fits(num) and _fits(den):
+                overrides.extend((src, dst, num, den))
+            else:  # pragma: no cover - pathological overrides
+                directory.big_overrides[(src, dst)] = Fraction(latency)
+
+        slots["op"] = packer.put(op)
+        slots["lat"] = packer.put(lat)
+        slots["ident"] = packer.put(ident)
+        slots["tag"] = packer.put(tag)
+        slots["imm_flag"] = packer.put(imm_flag)
+        slots["imm_val"] = packer.put(imm_val)
+        slots["mem_flag"] = packer.put(mem_flag)
+        slots["mem_region"] = packer.put(mem_region)
+        slots["mem_base"] = packer.put(mem_base)
+        slots["mem_off"] = packer.put(mem_off)
+        slots["mem_coeff"] = packer.put(mem_coeff)
+        slots["defs_ptr"] = packer.put(defs_ptr)
+        slots["defs_reg"] = packer.put(defs_reg)
+        slots["uses_ptr"] = packer.put(uses_ptr)
+        slots["uses_reg"] = packer.put(uses_reg)
+        slots["live_in"] = packer.put(intern_reg(r) for r in block.live_in)
+        slots["live_out"] = packer.put(intern_reg(r) for r in block.live_out)
+        slots["carried"] = packer.put(
+            code
+            for out_reg, in_reg in block.carried.items()
+            for code in (intern_reg(out_reg), intern_reg(in_reg))
+        )
+        slots["succ_ptr"] = packer.put(succ_ptr)
+        slots["succ_dst"] = packer.put(succ_dst)
+        slots["succ_kind"] = packer.put(succ_kind)
+        slots["wnum"] = packer.put(wnum)
+        slots["wden"] = packer.put(wden)
+        slots["overrides"] = packer.put(overrides)
+        directories.append(directory)
+
+    reg_rows: List[int] = []
+    for reg in registers:
+        reg_rows.extend(
+            (
+                1 if isinstance(reg, PhysReg) else 0,
+                reg.index,
+                _RCLASS_CODE[reg.rclass],
+                1 if getattr(reg, "is_spill_pool", False) else 0,
+            )
+        )
+    reg_slot = packer.put(reg_rows)
+
+    head = pickle.dumps(
+        _ArenaDirectory(strings=strings, reg_slot=reg_slot, blocks=directories),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    payload = packer.payload()
+    payload_offset = _HEADER.size + len(head)
+    payload_offset += -payload_offset % 8  # 8-align the int64 payload
+    total = max(1, payload_offset + payload.nbytes)
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    shm.buf[: _HEADER.size] = _HEADER.pack(len(head), payload_offset)
+    shm.buf[_HEADER.size : _HEADER.size + len(head)] = head
+    if payload.size:
+        np.frombuffer(
+            shm.buf, dtype=np.int64, count=payload.size, offset=payload_offset
+        )[:] = payload
+    return BlockArena(shm, len(blocks))
+
+
+class ArenaReader:
+    """Reconstructs blocks and DAGs from a shared-memory arena."""
+
+    def __init__(self, name: str):
+        self._shm = shared_memory.SharedMemory(name=name)
+        head_len, payload_offset = _HEADER.unpack_from(self._shm.buf, 0)
+        self._directory: _ArenaDirectory = pickle.loads(
+            bytes(self._shm.buf[_HEADER.size : _HEADER.size + head_len])
+        )
+        count = (len(self._shm.buf) - payload_offset) // 8
+        self._payload = np.frombuffer(
+            self._shm.buf, dtype=np.int64, count=count, offset=payload_offset
+        )
+        offset, length = self._directory.reg_slot
+        rows = self._payload[offset : offset + length]
+        self._registers: List[Register] = []
+        for k in range(length // 4):
+            is_phys, index, rclass, spill = (
+                int(x) for x in rows[4 * k : 4 * k + 4]
+            )
+            if is_phys:
+                self._registers.append(
+                    PhysReg(index, _RCLASSES[rclass], bool(spill))
+                )
+            else:
+                self._registers.append(VirtualReg(index, _RCLASSES[rclass]))
+
+    def __len__(self) -> int:
+        return len(self._directory.blocks)
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._payload = None
+            self._shm.close()
+            self._shm = None
+
+    # ------------------------------------------------------------------
+    def materialize(self, index: int) -> Tuple[BasicBlock, CodeDAG]:
+        """Rebuild one ``(block, dag)`` pair from the buffers."""
+        directory = self._directory.blocks[index]
+        strings = self._directory.strings
+        regs = self._registers
+        payload = self._payload
+
+        def arr(key: str) -> np.ndarray:
+            offset, length = directory.slots[key]
+            return payload[offset : offset + length]
+
+        n = directory.n
+        op = arr("op")
+        lat = arr("lat")
+        ident = arr("ident")
+        tag = arr("tag")
+        imm_flag = arr("imm_flag")
+        imm_val = arr("imm_val")
+        mem_flag = arr("mem_flag")
+        mem_region = arr("mem_region")
+        mem_base = arr("mem_base")
+        mem_off = arr("mem_off")
+        mem_coeff = arr("mem_coeff")
+        defs_ptr = arr("defs_ptr")
+        defs_reg = arr("defs_reg")
+        uses_ptr = arr("uses_ptr")
+        uses_reg = arr("uses_reg")
+
+        instructions: List[Instruction] = []
+        for v in range(n):
+            mem = None
+            if mem_flag[v]:
+                coeff = int(mem_coeff[v])
+                base = int(mem_base[v])
+                mem = MemRef(
+                    region=strings[int(mem_region[v])],
+                    base=regs[base] if base >= 0 else None,
+                    offset=int(mem_off[v]),
+                    affine_coeff=None if coeff == _NONE_COEFF else coeff,
+                )
+            imm = Immediate(int(imm_val[v])) if imm_flag[v] else None
+            instructions.append(
+                Instruction(
+                    opcode=_OPCODES[int(op[v])],
+                    defs=tuple(
+                        regs[int(r)]
+                        for r in defs_reg[int(defs_ptr[v]) : int(defs_ptr[v + 1])]
+                    ),
+                    uses=tuple(
+                        regs[int(r)]
+                        for r in uses_reg[int(uses_ptr[v]) : int(uses_ptr[v + 1])]
+                    ),
+                    mem=mem,
+                    imm=imm,
+                    latency=int(lat[v]),
+                    ident=int(ident[v]),
+                    tag=strings[int(tag[v])],
+                )
+            )
+
+        block = BasicBlock(directory.name, frequency=directory.frequency)
+        block.instructions = instructions
+        block.live_in = [regs[int(r)] for r in arr("live_in")]
+        block.live_out = [regs[int(r)] for r in arr("live_out")]
+        carried = arr("carried")
+        block.carried = {
+            regs[int(carried[2 * k])]: regs[int(carried[2 * k + 1])]
+            for k in range(len(carried) // 2)
+        }
+
+        dag = CodeDAG(instructions)
+        succ_ptr = arr("succ_ptr")
+        succ_dst = arr("succ_dst")
+        succ_kind = arr("succ_kind")
+        succ = dag._succ
+        pred = dag._pred
+        for v in range(n):
+            for e in range(int(succ_ptr[v]), int(succ_ptr[v + 1])):
+                dst = int(succ_dst[e])
+                kind = _KINDS[int(succ_kind[e])]
+                succ[v][dst] = kind
+                pred[dst][v] = kind
+        wnum = arr("wnum")
+        wden = arr("wden")
+        for v in range(n):
+            den = int(wden[v])
+            dag.weights[v] = (
+                int(wnum[v]) if den == 1 else Fraction(int(wnum[v]), den)
+            )
+        for v, weight in directory.big_weights.items():
+            dag.weights[v] = weight
+        overrides = arr("overrides")
+        for k in range(len(overrides) // 4):
+            src, dst, num, den = (int(x) for x in overrides[4 * k : 4 * k + 4])
+            dag._edge_latency[(src, dst)] = (
+                num if den == 1 else Fraction(num, den)
+            )
+        dag._edge_latency.update(directory.big_overrides)
+        return block, dag
+
+
+# ----------------------------------------------------------------------
+# Pool fan-out
+# ----------------------------------------------------------------------
+#: Per-process reader cache.  One arena is live at a time (the parent
+#: disposes it when its fan-out returns), so attaching to a new name
+#: closes the previous mapping.
+_READERS: Dict[str, ArenaReader] = {}
+
+
+def _attach(name: str) -> ArenaReader:
+    reader = _READERS.get(name)
+    if reader is None:
+        for stale in list(_READERS):
+            _READERS.pop(stale).close()
+        reader = _READERS[name] = ArenaReader(name)
+    return reader
+
+
+#: What a worker ships back per block: everything in a
+#: :class:`ScheduleResult` except the emitted block (re-emitted in the
+#: parent so instruction objects never cross the boundary).
+_SlimResult = Tuple[List[int], Fraction, list, dict]
+
+
+def _schedule_shared(task: Tuple[str, int, ListScheduler]) -> _SlimResult:
+    """Worker entry point: reconstruct one block from shared memory
+    and schedule it."""
+    arena_name, index, scheduler = task
+    block, dag = _attach(arena_name).materialize(index)
+    del block  # scheduling needs only the DAG; emission happens parent-side
+    result = scheduler.schedule(dag)
+    return result.order, result.noop_span, result.priorities, result.slots
+
+
+def schedule_blocks(
+    blocks: Sequence[BasicBlock],
+    dags: Sequence[CodeDAG],
+    scheduler: Optional[ListScheduler] = None,
+    jobs: int = 1,
+) -> List[ScheduleResult]:
+    """Schedule many weighted DAGs, optionally fanned over the pool.
+
+    ``dags[i]`` must be the DAG of ``blocks[i]`` with weights already
+    assigned (run the policy's ``assign_weights`` first).  With
+    ``jobs > 1`` the blocks travel to workers through a shared-memory
+    arena (:func:`encode_blocks`) and only slim outcomes travel back;
+    results are byte-identical to the inline path for any ``jobs``.
+    """
+    scheduler = scheduler if scheduler is not None else ListScheduler()
+    blocks = list(blocks)
+    dags = list(dags)
+    if len(blocks) != len(dags):
+        raise ValueError("need exactly one DAG per block")
+    if jobs == 1 or len(blocks) <= 1:
+        return [scheduler.schedule(dag, blk) for blk, dag in zip(blocks, dags)]
+    arena = encode_blocks(blocks, dags)
+    try:
+        slim = pool_map(
+            _schedule_shared,
+            [(arena.name, i, scheduler) for i in range(len(blocks))],
+            jobs=jobs,
+        )
+    finally:
+        arena.dispose()
+    results: List[ScheduleResult] = []
+    for blk, dag, (order, noop_span, priorities, slots) in zip(
+        blocks, dags, slim
+    ):
+        results.append(
+            ScheduleResult(
+                order=order,
+                block=ListScheduler._emit(dag, order, blk),
+                noop_span=noop_span,
+                priorities=priorities,
+                slots=slots,
+            )
+        )
+    return results

@@ -623,6 +623,39 @@ def _cmd_weights(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from ..analysis.dependence import build_dag
+    from ..core.balanced import BalancedScheduler
+    from ..core.traditional import TraditionalScheduler
+    from .engine import schedule_blocks
+
+    policy = (
+        BalancedScheduler()
+        if args.policy == "balanced"
+        else TraditionalScheduler(args.latency)
+    )
+    program = _compile_file(args.file)
+    blocks = program.all_blocks()
+    dags = []
+    for block in blocks:
+        dag = build_dag(block)
+        policy.assign_weights(dag)
+        dags.append(dag)
+    results = schedule_blocks(blocks, dags, policy._scheduler, jobs=args.jobs)
+    for block, result in zip(blocks, results):
+        print(
+            f"==== {block.name}  ({len(block)} instructions, "
+            f"noop span {result.noop_span})"
+        )
+        if args.verbose:
+            for v in result.order:
+                print(f"  {v:3d}  {block.instructions[v]}")
+    total = sum(len(b) for b in blocks)
+    print(f"scheduled {len(blocks)} block(s), {total} instructions "
+          f"under {policy.name} (jobs={args.jobs})")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from ..core.balanced import BalancedScheduler
     from ..core.pipeline import compile_program
@@ -930,6 +963,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the per-instruction contribution matrix",
     )
     weights.set_defaults(handler=_cmd_weights)
+
+    schedule = sub.add_parser(
+        "schedule",
+        help="schedule a minif file's blocks (optionally over the pool)",
+    )
+    schedule.add_argument("file")
+    schedule.add_argument(
+        "--policy", choices=["balanced", "traditional"], default="balanced"
+    )
+    schedule.add_argument("--latency", type=float, default=2)
+    schedule.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan blocks over the shared-memory scheduling engine",
+    )
+    schedule.add_argument(
+        "--verbose", action="store_true", help="print the scheduled order"
+    )
+    schedule.set_defaults(handler=_cmd_schedule)
 
     trace = sub.add_parser("trace", help="trace one simulated execution")
     trace.add_argument("file")

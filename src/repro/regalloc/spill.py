@@ -112,6 +112,18 @@ class SpillRewriter:
         self.live_out_order: Dict[Register, int] = {
             reg: index for index, reg in enumerate(live_out)
         }
+        #: *Every* position each register occupies.  A register may
+        #: appear at several live-in/live-out positions (two source
+        #: scalars carried by one value, e.g. after ``s0 = s2``); a
+        #: spilled definition must then land in the slot at each
+        #: position, or the value is unrecoverable at the positions the
+        #: single store skipped.
+        self.live_in_positions: Dict[Register, List[int]] = {}
+        for index, reg in enumerate(live_in):
+            self.live_in_positions.setdefault(reg, []).append(index)
+        self.live_out_positions: Dict[Register, List[int]] = {}
+        for index, reg in enumerate(live_out):
+            self.live_out_positions.setdefault(reg, []).append(index)
         self._slots: Dict[VirtualReg, int] = {}
         self._pools = {
             rclass: _Pool(register_file.spill_pool(rclass), register_file.fifo_pool)
@@ -150,6 +162,27 @@ class SpillRewriter:
             offset=self._slots[reg],
             affine_coeff=0,
         )
+
+    def _def_slots(self, reg: VirtualReg) -> List[MemRef]:
+        """Every slot a spilled definition of ``reg`` must be stored to.
+
+        Usually one slot (the reload slot :meth:`_slot` names), but a
+        register occupying several live-in or live-out positions owns
+        the slot at *each* of them -- a consumer (or validator) resolves
+        the value by position, so every position's slot must hold it.
+        """
+        if reg in self.live_in:
+            positions = self.live_in_positions[reg]
+            region = SPILL_HOME_REGION
+        elif reg in self.live_out:
+            positions = self.live_out_positions[reg]
+            region = SPILL_OUT_REGION
+        else:
+            return [self._slot(reg)]
+        return [
+            MemRef(region=region, base=None, offset=index, affine_coeff=0)
+            for index in positions
+        ]
 
     def _substitute(self, reg: Register, reloads: Dict[VirtualReg, PhysReg]) -> Register:
         if isinstance(reg, PhysReg):
@@ -190,10 +223,11 @@ class SpillRewriter:
                     pool_reg = self._pools[reg.rclass].take(banned)
                     banned.add(pool_reg)
                     new_defs.append(pool_reg)
-                    stores_after.append(
-                        make_store(pool_reg, self._slot(reg), tag="spill")
-                    )
-                    self.stats.stores += 1
+                    for slot in self._def_slots(reg):
+                        stores_after.append(
+                            make_store(pool_reg, slot, tag="spill")
+                        )
+                        self.stats.stores += 1
                 else:
                     new_defs.append(self._substitute(reg, reloads))
 

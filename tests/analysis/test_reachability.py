@@ -97,3 +97,53 @@ class TestIndependentMask:
 def test_bits_enumerates_ascending():
     assert list(bits(0b101001)) == [0, 3, 5]
     assert list(bits(0)) == []
+
+
+class TestClosureMatrix:
+    """The uint64 matrices agree row-for-row with the bigint closures."""
+
+    def _assert_matches(self, dag):
+        from repro.analysis.reachability import (
+            closure_matrix,
+            independent_matrix,
+            mask_from_words,
+            mask_member_array,
+        )
+
+        preds, succs = closures(dag)
+        pred_m, succ_m = closure_matrix(dag)
+        ind_m = independent_matrix(dag, pred_m, succ_m)
+        for v in dag.nodes():
+            assert mask_from_words(pred_m[v].tobytes()) == preds[v]
+            assert mask_from_words(succ_m[v].tobytes()) == succs[v]
+            expected = independent_mask(dag, v, preds, succs)
+            assert mask_from_words(ind_m[v].tobytes()) == expected
+            member = mask_member_array(expected, len(dag))
+            assert sum(1 << int(i) for i in np.flatnonzero(member)) == expected
+
+    def test_chain(self):
+        self._assert_matches(chain_dag(5))
+
+    def test_random_dags(self, rng):
+        for _ in range(15):
+            dag = random_dag(rng, n_nodes=30, edge_probability=0.15)
+            self._assert_matches(dag)
+
+    def test_wide_dag_crosses_word_boundary(self, rng):
+        """More than 64 nodes forces multi-word rows and a clean tail."""
+        dag = random_dag(rng, n_nodes=70, edge_probability=0.08)
+        self._assert_matches(dag)
+
+    def test_tail_bits_cleared_so_rows_compare_equal(self, rng):
+        """Structurally equal G_ind sets must be byte-equal rows --
+        the weights memoisation keys on ``row.tobytes()``."""
+        from repro.analysis.reachability import (
+            closure_matrix,
+            independent_matrix,
+        )
+
+        dag = chain_dag(3)
+        pred_m, succ_m = closure_matrix(dag)
+        ind_m = independent_matrix(dag, pred_m, succ_m)
+        # Every row of a pure chain is empty -- all three byte-equal.
+        assert ind_m[0].tobytes() == ind_m[1].tobytes() == ind_m[2].tobytes()

@@ -1,0 +1,197 @@
+"""Differential tests pinning the array-native engine to the reference.
+
+The dispatcher in :meth:`ListScheduler.schedule` routes every
+expressible tie-break chain through :mod:`repro.core.schedfast`
+(packed int64 selection keys over a scaled-integer clock).  These
+tests hold the two engines together byte-for-byte -- schedules, no-op
+spans, slot maps, priorities, decision logs and selection metrics --
+across directions, tie-break sets and random DAGs, and cover the
+collapsed empty-tie-breaks branch of ``_select_index`` directly.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.analysis import build_dag
+from repro.core import BalancedScheduler, Direction, ListScheduler
+from repro.core.scheduler import (
+    DEFAULT_TIE_BREAKS,
+    _SchedulerState,
+    consumed_minus_defined,
+    exposed_count,
+    original_order,
+    register_pressure,
+)
+from repro.obs.decisions import DecisionLog
+from repro.simulate.rng import spawn
+from repro.workloads import random_block
+
+TIE_BREAK_SETS = {
+    "default": DEFAULT_TIE_BREAKS,
+    "empty": (),
+    "pressure": (register_pressure,),
+    "no-exposed": (consumed_minus_defined, original_order),
+    "exposed-only": (exposed_count,),
+}
+
+
+def weighted_dag(seed: int, size: int = 40):
+    """A random balanced-weighted (block, dag) pair."""
+    block = random_block(
+        spawn("schedfast-prop", seed), n_instructions=size
+    )
+    dag = build_dag(block)
+    BalancedScheduler().assign_weights(dag)
+    return block, dag
+
+
+def result_surface(result):
+    return (
+        result.order,
+        result.noop_span,
+        result.priorities,
+        result.slots,
+        list(result.block.instructions),
+    )
+
+
+class TestFastPathEngages:
+    @pytest.mark.parametrize("name", sorted(TIE_BREAK_SETS))
+    @pytest.mark.parametrize(
+        "direction", [Direction.BOTTOM_UP, Direction.TOP_DOWN]
+    )
+    def test_all_tie_break_sets_take_fast_path(self, name, direction):
+        """Every parity case below must actually exercise schedfast."""
+        block, dag = weighted_dag(7)
+        scheduler = ListScheduler(TIE_BREAK_SETS[name], direction)
+        with obs.recording() as rec:
+            scheduler.schedule(dag, block)
+        counters = rec.metrics.snapshot()["counters"]
+        engines = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("sched.fast_path")
+        }
+        assert engines == {"sched.fast_path{engine=fast}": 1}
+
+
+class TestFastReferenceParity:
+    @pytest.mark.parametrize("name", sorted(TIE_BREAK_SETS))
+    @pytest.mark.parametrize(
+        "direction", [Direction.BOTTOM_UP, Direction.TOP_DOWN]
+    )
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_schedules(self, name, direction, seed):
+        block, dag = weighted_dag(seed)
+        scheduler = ListScheduler(TIE_BREAK_SETS[name], direction)
+        fast = scheduler.schedule(dag, block)
+        reference = scheduler._schedule_reference(dag, block, None)
+        assert result_surface(fast) == result_surface(reference)
+
+    @given(seed=st.integers(0, 10_000), size=st.integers(1, 80))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_schedules_varied_sizes(self, seed, size):
+        block, dag = weighted_dag(seed, size)
+        scheduler = ListScheduler()
+        fast = scheduler.schedule(dag, block)
+        reference = scheduler._schedule_reference(dag, block, None)
+        assert result_surface(fast) == result_surface(reference)
+
+    def test_noop_span_is_exact_fraction(self):
+        block, dag = weighted_dag(11)
+        result = ListScheduler().schedule(dag, block)
+        assert isinstance(result.noop_span, Fraction)
+        for slot in result.slots.values():
+            assert isinstance(slot, Fraction)
+
+
+class TestObservedParity:
+    """Fast-path observability mirrors the reference byte-for-byte."""
+
+    @pytest.mark.parametrize(
+        "direction", [Direction.BOTTOM_UP, Direction.TOP_DOWN]
+    )
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_decision_log_parity(self, direction, seed):
+        block, dag = weighted_dag(seed, 30)
+        scheduler = ListScheduler(direction=direction)
+        with obs.recording(decisions=True) as rec_fast:
+            scheduler.schedule(dag, block)
+        with obs.recording(decisions=True) as rec_ref:
+            scheduler._schedule_reference(dag, block, rec_ref)
+        assert rec_fast.decisions.render() == rec_ref.decisions.render()
+        assert DecisionLog.diff(rec_fast.decisions, rec_ref.decisions) == []
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_selection_metrics_parity(self, seed):
+        block, dag = weighted_dag(seed, 30)
+        scheduler = ListScheduler()
+        with obs.recording() as rec_fast:
+            scheduler.schedule(dag, block)
+        with obs.recording() as rec_ref:
+            scheduler._schedule_reference(dag, block, rec_ref)
+        fast_snap = rec_fast.metrics.snapshot()
+        ref_snap = rec_ref.metrics.snapshot()
+        for section in ("counters", "gauges", "histograms"):
+            fast_series = {
+                key: value
+                for key, value in fast_snap[section].items()
+                if not key.startswith("sched.fast_path")
+            }
+            ref_series = {
+                key: value
+                for key, value in ref_snap[section].items()
+                if not key.startswith("sched.fast_path")
+            }
+            assert fast_series == ref_series
+
+
+class TestSelectIndexEmptyTieBreaks:
+    """The collapsed branch: no co-leaders, or no tie-breaks to run."""
+
+    def _state(self, size: int = 6):
+        block, dag = weighted_dag(3, size)
+        return _SchedulerState(dag, Direction.BOTTOM_UP)
+
+    def test_unique_maximum_needs_no_tie_breaks(self):
+        state = self._state()
+        ready = [(0, 0), (1, 1), (2, 2)]
+        prio_rank = [1, 5, 3]
+        idx = ListScheduler()._select_index(
+            state, ready, prio_rank, [None] * 3, DEFAULT_TIE_BREAKS
+        )
+        assert idx == 1
+
+    def test_empty_chain_picks_earliest_coleader(self):
+        state = self._state()
+        ready = [(0, 2), (1, 0), (2, 1)]
+        prio_rank = [4, 4, 4]
+        idx = ListScheduler(tie_breaks=())._select_index(
+            state, ready, prio_rank, [], ()
+        )
+        assert idx == 0
+
+    def test_empty_chain_ignores_later_coleaders(self):
+        state = self._state()
+        ready = [(0, 0), (1, 1), (2, 2), (3, 3)]
+        prio_rank = [1, 7, 7, 7]
+        idx = ListScheduler(tie_breaks=())._select_index(
+            state, ready, prio_rank, [], ()
+        )
+        assert idx == 1
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=15, deadline=None)
+    def test_empty_chain_end_to_end_matches_reference(self, seed):
+        block, dag = weighted_dag(seed, 25)
+        scheduler = ListScheduler(tie_breaks=())
+        fast = scheduler.schedule(dag, block)
+        reference = scheduler._schedule_reference(dag, block, None)
+        assert result_surface(fast) == result_surface(reference)

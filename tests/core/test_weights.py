@@ -172,3 +172,20 @@ class TestGeneralisedPredicate:
         assert fp_nodes
         for v in fp_nodes:
             assert v in weighted
+
+
+class TestMemoisationCounter:
+    def test_gind_memo_hits_recorded(self, saxpy_block):
+        """Unrolled blocks repeat (G_ind, slots) pairs; the batched
+        implementation counts every dedup as a memo hit."""
+        from repro import obs
+
+        dag = build_dag(saxpy_block)
+        with obs.recording() as rec:
+            balanced_weights(dag)
+        counters = rec.metrics.snapshot()["counters"]
+        assert counters.get("sched.gind_memo_hits", 0) > 0
+
+    def test_counter_silent_without_recorder(self, saxpy_block):
+        dag = build_dag(saxpy_block)
+        assert balanced_weights(dag) == balanced_weights_reference(dag)

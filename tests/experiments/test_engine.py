@@ -1,0 +1,167 @@
+"""Tests for the shared-memory scheduling engine (wire format + pool).
+
+The wire format must reconstruct ``(BasicBlock, CodeDAG)`` pairs with
+full fidelity -- instructions, liveness, dependence edges, exact
+``Fraction`` weights and per-edge latency overrides -- and the pooled
+fan-out must return byte-identical results to inline scheduling.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import build_dag
+from repro.core import BalancedScheduler, ListScheduler
+from repro.experiments.engine import (
+    ArenaReader,
+    encode_blocks,
+    schedule_blocks,
+)
+from repro.frontend import compile_minif
+from repro.simulate.rng import spawn
+from repro.workloads import random_block
+
+
+def weighted_blocks(count: int = 6, size: int = 24):
+    """Random balanced-weighted (blocks, dags) lists."""
+    policy = BalancedScheduler()
+    blocks, dags = [], []
+    for k in range(count):
+        block = random_block(
+            spawn("engine-test", k),
+            n_instructions=size,
+            name=f"blk{k}",
+        )
+        dag = build_dag(block)
+        policy.assign_weights(dag)
+        blocks.append(block)
+        dags.append(dag)
+    return blocks, dags
+
+
+SOURCE = """
+program engine
+  array a[256], b[256]
+  kernel body freq 7 unroll 2
+    t1 = a[i] * x0
+    b[i] = t1 + a[i]
+  end
+end
+"""
+
+
+class TestWireFormat:
+    def test_roundtrip_fidelity(self):
+        blocks, dags = weighted_blocks()
+        arena = encode_blocks(blocks, dags)
+        try:
+            reader = ArenaReader(arena.name)
+            assert len(reader) == len(blocks)
+            for index, (block, dag) in enumerate(zip(blocks, dags)):
+                out_block, out_dag = reader.materialize(index)
+                assert out_block.name == block.name
+                assert out_block.frequency == block.frequency
+                assert list(out_block.instructions) == list(block.instructions)
+                assert out_block.live_in == block.live_in
+                assert out_block.live_out == block.live_out
+                assert out_block.carried == block.carried
+                assert out_dag._succ == dag._succ
+                assert out_dag._pred == dag._pred
+                assert out_dag.weights == dag.weights
+                assert out_dag._edge_latency == dag._edge_latency
+            reader.close()
+        finally:
+            arena.dispose()
+
+    def test_weights_stay_exact_fractions(self):
+        blocks, dags = weighted_blocks(count=2)
+        dags[0].weights[0] = Fraction(7, 12)
+        dags[1]._edge_latency[(0, 1)] = Fraction(5, 3)
+        arena = encode_blocks(blocks, dags)
+        try:
+            reader = ArenaReader(arena.name)
+            _, out0 = reader.materialize(0)
+            _, out1 = reader.materialize(1)
+            assert out0.weights[0] == Fraction(7, 12)
+            assert out1._edge_latency[(0, 1)] == Fraction(5, 3)
+            reader.close()
+        finally:
+            arena.dispose()
+
+    def test_compiled_program_roundtrips(self):
+        program = compile_minif(SOURCE)
+        policy = BalancedScheduler()
+        blocks = program.all_blocks()
+        dags = [build_dag(b) for b in blocks]
+        for dag in dags:
+            policy.assign_weights(dag)
+        arena = encode_blocks(blocks, dags)
+        try:
+            reader = ArenaReader(arena.name)
+            for index, (block, dag) in enumerate(zip(blocks, dags)):
+                out_block, out_dag = reader.materialize(index)
+                assert list(out_block.instructions) == list(block.instructions)
+                assert out_dag._succ == dag._succ
+                assert out_dag.weights == dag.weights
+            reader.close()
+        finally:
+            arena.dispose()
+
+    def test_mismatched_lengths_rejected(self):
+        blocks, dags = weighted_blocks(count=2)
+        with pytest.raises(ValueError):
+            encode_blocks(blocks, dags[:1])
+
+    def test_mismatched_instructions_rejected(self):
+        blocks, dags = weighted_blocks(count=2)
+        with pytest.raises(ValueError, match="different"):
+            encode_blocks([blocks[0]], [dags[1]])
+
+    def test_empty_arena(self):
+        arena = encode_blocks([], [])
+        try:
+            reader = ArenaReader(arena.name)
+            assert len(reader) == 0
+            reader.close()
+        finally:
+            arena.dispose()
+
+
+class TestScheduleBlocks:
+    def _surface(self, result):
+        return (
+            result.order,
+            result.noop_span,
+            result.priorities,
+            result.slots,
+            list(result.block.instructions),
+            result.block.name,
+        )
+
+    def test_inline_matches_direct_scheduling(self):
+        blocks, dags = weighted_blocks()
+        scheduler = ListScheduler()
+        results = schedule_blocks(blocks, dags, scheduler, jobs=1)
+        for block, dag, result in zip(blocks, dags, results):
+            direct = scheduler.schedule(dag, block)
+            assert self._surface(result) == self._surface(direct)
+
+    def test_pooled_matches_inline(self):
+        blocks, dags = weighted_blocks(count=8)
+        scheduler = ListScheduler()
+        inline = schedule_blocks(blocks, dags, scheduler, jobs=1)
+        pooled = schedule_blocks(blocks, dags, scheduler, jobs=2)
+        assert [self._surface(r) for r in pooled] == [
+            self._surface(r) for r in inline
+        ]
+
+    def test_noop_spans_are_fractions_after_pool(self):
+        blocks, dags = weighted_blocks(count=4)
+        for result in schedule_blocks(blocks, dags, jobs=2):
+            assert isinstance(result.noop_span, Fraction)
+
+    def test_single_block_stays_inline(self):
+        blocks, dags = weighted_blocks(count=1)
+        results = schedule_blocks(blocks, dags, jobs=4)
+        assert len(results) == 1
+        assert sorted(results[0].order) == list(range(len(dags[0])))

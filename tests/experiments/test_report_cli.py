@@ -122,3 +122,24 @@ class TestCLI:
     def test_trace_unknown_memory_fails_gracefully(self, capsys, minif_file):
         assert main(["trace", minif_file, "--memory", "BOGUS"]) == 2
         assert "unknown memory" in capsys.readouterr().err
+
+
+class TestScheduleCommand:
+    def test_schedule_inline(self, minif_file, capsys):
+        assert main(["schedule", minif_file]) == 0
+        out = capsys.readouterr().out
+        assert "noop span" in out
+        assert "under balanced (jobs=1)" in out
+
+    def test_schedule_pooled_matches_inline(self, minif_file, capsys):
+        assert main(["schedule", minif_file, "--verbose"]) == 0
+        inline = capsys.readouterr().out
+        assert main(["schedule", minif_file, "--verbose", "--jobs", "2"]) == 0
+        pooled = capsys.readouterr().out
+        assert pooled.replace("jobs=2", "jobs=1") == inline
+
+    def test_schedule_traditional(self, minif_file, capsys):
+        assert main(
+            ["schedule", minif_file, "--policy", "traditional"]
+        ) == 0
+        assert "traditional" in capsys.readouterr().out

@@ -136,3 +136,65 @@ def test_spilled_liveout_keeps_positional_out_slot():
 def test_spilled_liveout_full_differential_check():
     """The exact check the fuzzer runs must be clean end to end."""
     assert check_source(SPILLED_LIVEOUT_SCALAR, seed=1, runs=2) == []
+
+
+#: Found by ``fuzz --seed 424242`` (iteration 6); the artifact is
+#: pinned at ``results/fuzz/fuzz-424242-00006.json``.  ``s0 = s2``
+#: makes both live-out scalars the *same* virtual register, so
+#: ``live_out`` lists it twice -- and the register gets spilled.  The
+#: rewriter kept one position per register (a last-wins dict), emitted
+#: a single ``__spill_out`` store at position 1, and left position 0's
+#: slot empty; the oracle, resolving live-outs by position, read
+#: ``unknown`` at position 0.  Spilled definitions now store into the
+#: slot at *every* live-in/live-out position the register occupies.
+DUPLICATED_LIVEOUT_POSITIONS = """
+program fuzz
+  array va[1024], vd[1024]
+  scalar s0, s2
+  kernel k0 freq 26 unroll 3
+    va[i] = va[i] + (va[i] + s0)
+    s2 = vd[i] + vd[i]
+    s0 = s2
+  end
+end
+"""
+
+
+def test_duplicated_liveout_positions_all_get_out_slots():
+    """The failing shape: balanced under FORTRAN spills a register that
+    occupies two live-out positions.  Every position must have a store
+    into its out slot, and every validator must resolve both."""
+    program = compile_minif(DUPLICATED_LIVEOUT_POSITIONS)
+    compiled = compile_program(
+        program, BalancedScheduler(), alias_model=AliasModel.FORTRAN
+    )
+    duplicate_seen = False
+    for cb in compiled.blocks:
+        positions = {}
+        for position, reg in enumerate(cb.final.live_out):
+            positions.setdefault(reg, []).append(position)
+        out_slots = {
+            inst.mem.offset
+            for inst in cb.final.instructions
+            if inst.is_store
+            and inst.mem is not None
+            and inst.mem.region == SPILL_OUT_REGION
+        }
+        for reg, occupied in positions.items():
+            if not isinstance(reg, VirtualReg) or len(occupied) < 2:
+                continue
+            duplicate_seen = True
+            for position in occupied:
+                assert position in out_slots, (
+                    f"duplicated spilled live-out lacks a store into "
+                    f"out slot {position}"
+                )
+        assert check_allocation(cb.source, cb.final, AliasModel.FORTRAN) == []
+        assert_equivalent(cb.source, cb.final, AliasModel.FORTRAN)
+        assert check_compiled(cb, AliasModel.FORTRAN) == []
+    assert duplicate_seen, "regression requires a spilled duplicated live-out"
+
+
+def test_duplicated_liveout_full_differential_check():
+    """The exact check the fuzzer runs must be clean end to end."""
+    assert check_source(DUPLICATED_LIVEOUT_POSITIONS, seed=424242, runs=3) == []
