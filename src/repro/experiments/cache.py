@@ -30,12 +30,15 @@ and overwritten.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pickle
 import tempfile
 from hashlib import sha256
 from pathlib import Path
 from typing import Any, Optional
+
+logger = logging.getLogger("repro.experiments.cache")
 
 #: Bump when a change to compilation, scheduling, simulation or
 #: statistics semantics invalidates previously cached results.
@@ -143,8 +146,15 @@ class ResultCache:
                 return pickle.load(handle)
         except FileNotFoundError:
             return None
-        except Exception:
-            # A torn or stale entry is a miss; the next put overwrites.
+        except Exception as exc:
+            # A torn or stale entry (truncated pickle after a SIGKILL,
+            # a bad disk, a foreign file dropped into the tree) is a
+            # miss; the next put overwrites.  Warn so silent corruption
+            # never masquerades as a plain cold cache.
+            logger.warning(
+                "corrupt result-cache entry %s (%s: %s); treating as a "
+                "miss", path, type(exc).__name__, exc,
+            )
             return None
 
     def put_object(self, key: str, value: Any) -> None:

@@ -303,6 +303,26 @@ class CellSpec:
 _EVALUATORS: Dict[tuple, ProgramEvaluator] = {}
 
 
+class PoolBrokenError(RuntimeError):
+    """The process pool kept breaking and inline fallback was declined.
+
+    Raised by :func:`pool_map` (and everything layered on it) only when
+    called with ``inline_fallback=False`` -- the scheduling service uses
+    that mode so a dying pool surfaces as a retriable 503 instead of
+    silently absorbing the work into the serving process.  ``items`` is
+    how many work items were still undelivered when the budget ran out;
+    ``cause`` is the repr of the last pool-breaking exception.
+    """
+
+    def __init__(self, items: int, cause: Optional[str] = None) -> None:
+        super().__init__(
+            f"process pool broke past its retry budget with {items} "
+            f"item(s) undelivered" + (f" (cause: {cause})" if cause else "")
+        )
+        self.items = items
+        self.cause = cause
+
+
 class CellEvaluationError(RuntimeError):
     """A cell failed deterministically; names the offending spec.
 
@@ -534,6 +554,7 @@ def pool_map(
     retries: int = MAX_POOL_RETRIES,
     stats: Optional[PoolMapStats] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
+    inline_fallback: bool = True,
 ) -> List:
     """Map a picklable function over items through the shared pool.
 
@@ -560,7 +581,11 @@ def pool_map(
     ``on_result`` fires as each item completes (in completion order),
     which is what lets ``evaluate_cells`` checkpoint results while
     later items are still running.  ``stats`` collects retry counts
-    for the run manifest.
+    for the run manifest.  ``inline_fallback=False`` replaces the
+    degrade-to-inline step with :class:`PoolBrokenError` -- the
+    scheduling service declines inline execution so a dying pool
+    becomes a 503 for the affected requests instead of CPU work on the
+    serving process (delivered items keep their results either way).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -603,6 +628,8 @@ def pool_map(
         for index in broken:
             stats.item_attempts[index] = stats.item_attempts.get(index, 0) + 1
         if stats.pool_rebuilds > retries:
+            if not inline_fallback:
+                raise PoolBrokenError(len(broken), stats.last_error)
             logger.warning(
                 "process pool broke %d times (retry budget %d); running "
                 "%d item(s) inline in this process",
@@ -629,6 +656,9 @@ def evaluate_cells(
     cache: Optional[ResultCache] = None,
     manifest: Optional[ManifestWriter] = None,
     resume: Optional[bool] = None,
+    retries: int = MAX_POOL_RETRIES,
+    inline_fallback: bool = True,
+    stats: Optional[PoolMapStats] = None,
 ) -> List[CellResult]:
     """Evaluate cells, optionally fanned out over a process pool.
 
@@ -655,6 +685,12 @@ def evaluate_cells(
     per program).  Groups are then packed into a few cell-balanced
     batches -- enough for load balancing, few enough that task
     round-trips stay off the critical path.
+
+    ``retries`` / ``inline_fallback`` / ``stats`` are forwarded to
+    :func:`pool_map`; the scheduling service passes
+    ``inline_fallback=False`` (and its own retry budget) so pool death
+    raises :class:`PoolBrokenError` -- already-delivered cells are still
+    cached and recorded, so a client retry replays them for free.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -735,7 +771,8 @@ def evaluate_cells(
     if current:
         batches.append(current)
     tasks = [[specs[i] for i in batch] for batch in batches]
-    stats = PoolMapStats()
+    if stats is None:
+        stats = PoolMapStats()
 
     parent_rec = _obs.get()
     parent_pid = os.getpid()
@@ -762,7 +799,8 @@ def evaluate_cells(
                    metrics=summary)
 
     pool_map(
-        _evaluate_group_timed, tasks, jobs, stats=stats, on_result=consume
+        _evaluate_group_timed, tasks, jobs, retries=retries, stats=stats,
+        on_result=consume, inline_fallback=inline_fallback,
     )
     if stats.inline_items and manifest is not None:
         manifest.record_pool_downgrade(

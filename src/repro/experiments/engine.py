@@ -40,8 +40,10 @@ scheduling -- the engine property tests assert it.
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import struct
+import weakref
 from dataclasses import dataclass, field
 from fractions import Fraction
 from multiprocessing import shared_memory
@@ -126,12 +128,30 @@ class _ArenaDirectory:
     blocks: List[_BlockDirectory]
 
 
+#: Every live (undisposed) arena owned by this process.  Shared-memory
+#: segments outlive the process unless unlinked, so an interrupted
+#: ``schedule``/``serve`` must be able to sweep them all on the way out
+#: -- :func:`dispose_all_arenas` is registered with ``atexit`` and
+#: called from the CLI's interrupt paths.
+_LIVE_ARENAS: "weakref.WeakSet[BlockArena]" = weakref.WeakSet()
+
+
+def dispose_all_arenas() -> None:
+    """Dispose every live arena this process still owns (idempotent)."""
+    for arena in list(_LIVE_ARENAS):
+        arena.dispose()
+
+
+atexit.register(dispose_all_arenas)
+
+
 class BlockArena:
     """An owned shared-memory segment of encoded blocks."""
 
     def __init__(self, shm: shared_memory.SharedMemory, count: int):
         self._shm = shm
         self.count = count
+        _LIVE_ARENAS.add(self)
 
     @property
     def name(self) -> str:

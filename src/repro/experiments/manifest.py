@@ -23,6 +23,10 @@ added, readers must ignore unknown keys):
 ``pool_downgrade``
     ``run_id, items`` -- plus ``cause`` (repr of the pool-breaking
     exception) when known
+``request``
+    ``run_id, kind ("compile"|"schedule"|"simulate"|"explain"),
+    status (HTTP status code), wall_s`` -- one per request served by
+    ``balanced-sched serve`` (see docs/service.md)
 ``run_end``
     ``run_id, experiment, status ("ok"|"interrupted"|"failed"),
     wall_s, cells, hits, misses, retries, inline``
@@ -34,13 +38,17 @@ hit rate, retry count, total wall-clock and the slowest cells.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import subprocess
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
+
+logger = logging.getLogger("repro.experiments.manifest")
 
 #: Environment override for the manifest path used by the CLI.
 MANIFEST_ENV = "BALANCED_SCHED_MANIFEST"
@@ -77,14 +85,18 @@ class ManifestWriter:
         self._run_id: Optional[str] = None
         self._experiment: Optional[str] = None
         self._counts: Dict[str, int] = {}
+        # The service appends from the event loop, the CPU executor
+        # and the batcher concurrently; one lock keeps records whole.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
     def start_run(self, experiment: str, **fields) -> str:
@@ -159,6 +171,25 @@ class ManifestWriter:
             record["cause"] = cause
         self._append(record)
 
+    def record_request(
+        self, *, kind: str, status: int, wall_s: float, **fields
+    ) -> None:
+        """One request served by ``balanced-sched serve``.
+
+        ``status`` is the HTTP status code the client saw; extra
+        fields (``cache``, ``coalesced`` ...) ride along verbatim.
+        """
+        self._append(
+            {
+                "event": "request",
+                "run_id": self._run_id,
+                "kind": kind,
+                "status": status,
+                "wall_s": round(wall_s, 6),
+                **fields,
+            }
+        )
+
     def end_run(self, *, wall_s: float, status: str = "ok") -> None:
         self._append(
             {
@@ -185,6 +216,7 @@ class RunSummary:
     cells: List[dict] = field(default_factory=list)
     end: Optional[dict] = None
     downgrades: int = 0
+    requests: int = 0
 
     @property
     def run_id(self) -> str:
@@ -230,6 +262,8 @@ class RunSummary:
                 else ""
             ),
         ]
+        if self.requests:
+            lines.append(f"  requests served: {self.requests}")
         if self.cells:
             rate = 100.0 * self.hits / len(self.cells)
             lines.append(
@@ -258,7 +292,8 @@ class RunSummary:
 
 def read_runs(path) -> List[RunSummary]:
     """Every run in the manifest, oldest first.  Unparseable lines
-    (torn writes from a crash) are skipped."""
+    (torn writes from a crash -- e.g. a partial final line after a
+    SIGKILL mid-append) are skipped with a logged warning."""
     runs: List[RunSummary] = []
     by_id: Dict[str, RunSummary] = {}
     try:
@@ -266,13 +301,22 @@ def read_runs(path) -> List[RunSummary]:
             lines = handle.readlines()
     except FileNotFoundError:
         return []
-    for line in lines:
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
+            logger.warning(
+                "skipping unparseable manifest record %s:%d (torn "
+                "write?): %.60r", path, lineno, line,
+            )
+            continue
+        if not isinstance(record, dict):
+            logger.warning(
+                "skipping non-object manifest record %s:%d", path, lineno,
+            )
             continue
         event = record.get("event")
         run_id = record.get("run_id")
@@ -287,6 +331,8 @@ def read_runs(path) -> List[RunSummary]:
                 by_id[run_id].end = record
             elif event == "pool_downgrade":
                 by_id[run_id].downgrades += int(record.get("items", 0))
+            elif event == "request":
+                by_id[run_id].requests += 1
     return runs
 
 

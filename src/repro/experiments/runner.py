@@ -76,13 +76,17 @@ docs/performance.md ("Crash safety and resume").
 from __future__ import annotations
 
 import argparse
+import io
 import logging
 import os
+import signal
 import sys
+import threading
 import time
 from typing import Dict, List, Optional
 
 from ..analysis.alias import AliasModel
+from ..frontend.errors import MinifError
 from ..obs import recorder as _obs
 from ..obs.export import phase_summary, write_chrome_trace, write_metrics
 from ..obs.metrics import MetricsRegistry, counter_total, split_series_key
@@ -291,6 +295,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                         "are checkpointed -- re-run the same command to "
                         "resume", name, elapsed,
                     )
+                    # Tear down shared state eagerly: atexit hooks may
+                    # never run if the signal arrives again, and a
+                    # half-dead pool would leak workers and shm
+                    # segments past the 130 exit.
+                    from .common import shutdown_pool
+                    from .engine import dispose_all_arenas
+
+                    shutdown_pool(wait=False)
+                    dispose_all_arenas()
                     return 130
                 except BaseException:
                     manifest.end_run(
@@ -489,58 +502,89 @@ def _profile_report(metrics: MetricsRegistry, top: int = 10) -> str:
     return "\n".join(lines).rstrip()
 
 
-def _cmd_explain(args: argparse.Namespace) -> int:
-    """Schedule each block under both policies with decision logging on
-    and show why their step-by-step choices diverge."""
+def render_explain(
+    program,
+    block: Optional[str] = None,
+    latency: float = 2.0,
+    context: int = 3,
+    full: bool = False,
+) -> str:
+    """The ``explain`` report as a string.
+
+    Shared verbatim by the CLI (which writes it to stdout) and the
+    service (which returns it over HTTP), so the two are
+    byte-identical by construction.  Raises :class:`KeyError` with a
+    one-line message when ``block`` names no block.
+    """
     from ..core.balanced import BalancedScheduler
     from ..core.pipeline import compile_block
     from ..core.traditional import TraditionalScheduler
     from ..obs.decisions import DecisionLog
 
-    program = _load_program_argument(args.program)
-    blocks = [block for function in program for block in function]
-    if args.block is not None:
-        names = [block.name for block in blocks]
-        blocks = [block for block in blocks if block.name == args.block]
+    blocks = [blk for function in program for blk in function]
+    if block is not None:
+        names = [blk.name for blk in blocks]
+        blocks = [blk for blk in blocks if blk.name == block]
         if not blocks:
-            print(
-                f"no block named {args.block!r}; choose from {names}",
-                file=sys.stderr,
+            raise KeyError(
+                f"no block named {block!r}; choose from {names}"
             )
-            return 2
-    trad_label = f"traditional W={args.latency:g}"
-    for block in blocks:
+    buf = io.StringIO()
+    trad_label = f"traditional W={latency:g}"
+    for blk in blocks:
         logs: Dict[str, DecisionLog] = {}
         for tag, policy in (
             ("balanced", BalancedScheduler()),
-            (trad_label, TraditionalScheduler(args.latency)),
+            (trad_label, TraditionalScheduler(latency)),
         ):
             # register_file=None: explain the *scheduling* decisions on
             # the virtual-register code, without regalloc's pass-2
             # rewrites muddying the diff.
             with _obs.recording(decisions=True) as rec:
-                compile_block(block, policy, register_file=None)
+                compile_block(blk, policy, register_file=None)
             logs[tag] = rec.decisions
-        print(f"==== {block.name} ({len(block)} instructions)")
+        print(f"==== {blk.name} ({len(blk)} instructions)", file=buf)
         for tag, log in logs.items():
             counts = log.counts_by_reason()
             rendered = ", ".join(f"{r}={c}" for r, c in counts.items())
-            print(f"  {tag:20s} {rendered}")
+            print(f"  {tag:20s} {rendered}", file=buf)
         diff = DecisionLog.diff(
             logs["balanced"], logs[trad_label],
             "balanced", trad_label,
-            block=block.name, context=args.context,
+            block=blk.name, context=context,
         )
-        if args.full:
+        if full:
             for tag, log in logs.items():
-                print(f"\n-- decision log: {tag}")
-                print("\n".join(log.render(block=block.name)))
+                print(f"\n-- decision log: {tag}", file=buf)
+                print("\n".join(log.render(block=blk.name)), file=buf)
         elif diff:
-            print()
-            print("\n".join(diff))
+            print(file=buf)
+            print("\n".join(diff), file=buf)
         else:
-            print("  (both policies make identical step-by-step choices)")
-        print()
+            print(
+                "  (both policies make identical step-by-step choices)",
+                file=buf,
+            )
+        print(file=buf)
+    return buf.getvalue()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Schedule each block under both policies with decision logging on
+    and show why their step-by-step choices diverge."""
+    program = _load_program_argument(args.program)
+    try:
+        text = render_explain(
+            program,
+            block=args.block,
+            latency=args.latency,
+            context=args.context,
+            full=args.full,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    sys.stdout.write(text)
     return 0
 
 
@@ -566,6 +610,30 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service package pulls in asyncio plumbing
+    # no batch command needs.
+    from ..service import SchedulingService
+
+    jobs = args.jobs
+    cores = _usable_cores()
+    if jobs > cores:
+        logger.warning("--jobs %d clamped to %d usable core(s)", jobs, cores)
+        jobs = cores
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    manifest = ManifestWriter(args.manifest)
+    service = SchedulingService(
+        jobs=jobs,
+        cache=cache,
+        manifest=manifest,
+        max_queue=args.max_queue,
+        deadline_s=args.deadline if args.deadline > 0 else None,
+        pool_retries=args.pool_retries,
+        batch_window_s=args.batch_window,
+    )
+    return service.run(host=args.host, port=args.port)
+
+
 def _compile_file(path: str):
     from ..frontend.lowering import compile_minif
 
@@ -573,24 +641,33 @@ def _compile_file(path: str):
         return compile_minif(handle.read())
 
 
-def _cmd_compile(args: argparse.Namespace) -> int:
+def render_compile(program, latency: float = 2.0) -> str:
+    """The ``compile`` listing (both policies) as a string; shared by
+    the CLI and the service so their outputs are byte-identical."""
     from ..core.balanced import BalancedScheduler
     from ..core.pipeline import compile_program
     from ..core.traditional import TraditionalScheduler
     from ..ir.printer import format_block
 
-    program = _compile_file(args.file)
-    policies = [BalancedScheduler(), TraditionalScheduler(args.latency)]
+    buf = io.StringIO()
+    policies = [BalancedScheduler(), TraditionalScheduler(latency)]
     for policy in policies:
         compiled = compile_program(program, policy)
-        print(f"==== {policy.name}")
+        print(f"==== {policy.name}", file=buf)
         for block in compiled.final_blocks:
-            print(format_block(block))
-            print()
+            print(format_block(block), file=buf)
+            print(file=buf)
         print(
             f"  dynamic instructions: {compiled.dynamic_instructions:,.0f}"
-            f"  (spill {compiled.spill_percentage:.2f}%)\n"
+            f"  (spill {compiled.spill_percentage:.2f}%)\n",
+            file=buf,
         )
+    return buf.getvalue()
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    program = _compile_file(args.file)
+    sys.stdout.write(render_compile(program, latency=args.latency))
     return 0
 
 
@@ -623,7 +700,16 @@ def _cmd_weights(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_schedule(args: argparse.Namespace) -> int:
+def render_schedule(
+    program,
+    policy_name: str = "balanced",
+    latency: float = 2.0,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> str:
+    """The ``schedule`` listing as a string; shared by the CLI and the
+    service so their outputs are byte-identical (``jobs`` changes only
+    wall-clock time, never the listing)."""
     from ..analysis.dependence import build_dag
     from ..core.balanced import BalancedScheduler
     from ..core.traditional import TraditionalScheduler
@@ -631,28 +717,43 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
     policy = (
         BalancedScheduler()
-        if args.policy == "balanced"
-        else TraditionalScheduler(args.latency)
+        if policy_name == "balanced"
+        else TraditionalScheduler(latency)
     )
-    program = _compile_file(args.file)
     blocks = program.all_blocks()
     dags = []
     for block in blocks:
         dag = build_dag(block)
         policy.assign_weights(dag)
         dags.append(dag)
-    results = schedule_blocks(blocks, dags, policy._scheduler, jobs=args.jobs)
+    results = schedule_blocks(blocks, dags, policy._scheduler, jobs=jobs)
+    buf = io.StringIO()
     for block, result in zip(blocks, results):
         print(
             f"==== {block.name}  ({len(block)} instructions, "
-            f"noop span {result.noop_span})"
+            f"noop span {result.noop_span})",
+            file=buf,
         )
-        if args.verbose:
+        if verbose:
             for v in result.order:
-                print(f"  {v:3d}  {block.instructions[v]}")
+                print(f"  {v:3d}  {block.instructions[v]}", file=buf)
     total = sum(len(b) for b in blocks)
     print(f"scheduled {len(blocks)} block(s), {total} instructions "
-          f"under {policy.name} (jobs={args.jobs})")
+          f"under {policy.name} (jobs={jobs})", file=buf)
+    return buf.getvalue()
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    program = _compile_file(args.file)
+    sys.stdout.write(
+        render_schedule(
+            program,
+            policy_name=args.policy,
+            latency=args.latency,
+            jobs=args.jobs,
+            verbose=args.verbose,
+        )
+    )
     return 0
 
 
@@ -999,10 +1100,85 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=DEFAULT_SEED)
     trace.set_defaults(handler=_cmd_trace)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve compile/schedule/simulate/explain over HTTP "
+        "(see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool workers for simulation batches",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=default_cache_dir(),
+        help="result-cache directory shared with `run`",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="serve without a result cache"
+    )
+    serve.add_argument(
+        "--manifest",
+        default=default_manifest_path(),
+        help="manifest JSONL to append request records to",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        help="simulation requests queued/in-flight before 429",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--pool-retries",
+        type=int,
+        default=2,
+        help="pool rebuilds before a batch fails with 503",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.01,
+        help="seconds to hold a simulation request for coalescing",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     return parser
 
 
 _VERBOSITY_FLAGS = ("-v", "--verbose", "-q", "--quiet")
+
+
+def _install_sigterm_handler() -> None:
+    """Convert SIGTERM into KeyboardInterrupt for the batch commands.
+
+    `kill <pid>` then unwinds through the same except/finally chain as
+    Ctrl-C: the manifest records ``interrupted``, checkpoints land,
+    obs exports finish (atomically), and the pool and shared-memory
+    arenas are torn down -- instead of the default handler killing the
+    process mid-write.  ``serve`` replaces this with its own asyncio
+    handler.  Signals can only be installed from the main thread;
+    embedders calling :func:`main` elsewhere keep their own handling.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # pragma: no cover - exotic embedding
+        pass
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1017,7 +1193,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
-    return args.handler(args)
+    _install_sigterm_handler()
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        print("balanced-sched: interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:  # e.g. `balanced-sched ... | head`
+        return 1
+    except MinifError as exc:
+        print(f"balanced-sched: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Bad paths and unwritable outputs (FileNotFoundError,
+        # IsADirectoryError, PermissionError ...): one line, no
+        # traceback, non-zero exit.
+        print(f"balanced-sched: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

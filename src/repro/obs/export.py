@@ -17,11 +17,36 @@ anything Perfetto would choke on.
 from __future__ import annotations
 
 import json
+import os
+import re
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, split_series_key
 from .recorder import Recorder
+
+
+def _write_atomic(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` via a same-directory temp file and
+    ``os.replace``, so an interrupt (SIGTERM mid-export) can never
+    leave a half-written artifact behind."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 #: Fixed process/thread ids for emitted events (single-threaded spans).
 TRACE_PID = 1
@@ -59,10 +84,7 @@ def chrome_trace(recorder: Recorder) -> dict:
 
 
 def write_chrome_trace(path: Union[str, Path], recorder: Recorder) -> Path:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(recorder), indent=1) + "\n")
-    return path
+    return _write_atomic(path, json.dumps(chrome_trace(recorder), indent=1) + "\n")
 
 
 def validate_chrome_trace(data: object) -> List[str]:
@@ -173,7 +195,179 @@ def metrics_json(metrics: MetricsRegistry) -> dict:
 def write_metrics(
     path: Union[str, Path], metrics: MetricsRegistry
 ) -> Path:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(metrics_json(metrics), indent=1) + "\n")
-    return path
+    return _write_atomic(path, json.dumps(metrics_json(metrics), indent=1) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (the service's /metrics endpoint)
+# ----------------------------------------------------------------------
+#: A legal Prometheus metric name; everything else is mapped to "_".
+_PROM_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(base: str) -> str:
+    """Map a registry series base name onto a legal Prometheus metric
+    name (``sim.load_stall_cycles`` -> ``sim_load_stall_cycles``)."""
+    name = _PROM_NAME_BAD.sub("_", base)
+    if not name or not _PROM_NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition-format rules."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_series(base: str, labels: Dict[str, str], extra: str = "") -> str:
+    """``name{label="value",...}`` with sanitised names and escaped
+    values; ``extra`` appends a pre-rendered label (the histogram
+    ``le``)."""
+    name = prometheus_name(base)
+    parts = [
+        f'{_PROM_LABEL_BAD.sub("_", key)}="{_prom_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return name
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def _prom_number(value: object) -> str:
+    """Render a sample value (integers stay integral)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters and gauges map 1:1; the registry's *exact* histograms
+    render as real Prometheus histograms -- every observed value
+    becomes an ``le`` bucket boundary (cumulative counts), plus the
+    standard ``+Inf`` bucket, ``_sum`` and ``_count`` series.  Output
+    is deterministic: one ``# TYPE`` line per metric name, series in
+    sorted-key order.  This is what ``balanced-sched serve`` exposes
+    at ``/metrics``.
+    """
+    by_name: Dict[str, List[str]] = {}
+    types: Dict[str, str] = {}
+
+    def emit(base: str, kind: str, line: str) -> None:
+        name = prometheus_name(base)
+        types.setdefault(name, kind)
+        by_name.setdefault(name, []).append(line)
+
+    for key in sorted(metrics.counters):
+        base, labels = split_series_key(key)
+        emit(
+            base, "counter",
+            f"{_prom_series(base, labels)} "
+            f"{_prom_number(metrics.counters[key])}",
+        )
+    for key in sorted(metrics.gauges):
+        base, labels = split_series_key(key)
+        emit(
+            base, "gauge",
+            f"{_prom_series(base, labels)} "
+            f"{_prom_number(metrics.gauges[key])}",
+        )
+    for key in sorted(metrics.histograms):
+        base, labels = split_series_key(key)
+        hist = metrics.histograms[key]
+        name = prometheus_name(base)
+        cumulative = 0
+        for value in sorted(hist, key=float):
+            cumulative += hist[value]
+            emit(
+                base, "histogram",
+                f"{_prom_series(base + '_bucket', labels, extra=_le_label(value))} "
+                f"{cumulative}",
+            )
+        inf_label = 'le="+Inf"'
+        emit(
+            base, "histogram",
+            f"{_prom_series(base + '_bucket', labels, extra=inf_label)} "
+            f"{cumulative}",
+        )
+        emit(
+            base, "histogram",
+            f"{_prom_series(base + '_sum', labels)} "
+            f"{_prom_number(MetricsRegistry.histogram_total(hist))}",
+        )
+        emit(
+            base, "histogram",
+            f"{_prom_series(base + '_count', labels)} {cumulative}",
+        )
+        types.setdefault(name, "histogram")
+    lines: List[str] = []
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} {types[name]}")
+        lines.extend(by_name[name])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _le_label(value: object) -> str:
+    """The ``le`` bucket label for one observed histogram value."""
+    return f'le="{_prom_number(value)}"'
+
+
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"  # labels
+    r" -?(\d+(\.\d+)?([eE][+-]?\d+)?|\+?Inf|NaN)$"  # value
+)
+_PROM_TYPE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+    r"(counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Schema-check a text exposition; returns problems (empty == valid).
+
+    Checks line syntax (TYPE comments and samples), that every sample's
+    metric name was TYPE-declared (histogram series resolve to their
+    parent), and that histogram bucket counts are cumulative.  Used by
+    the service tests and ``tools/check_service.py``.
+    """
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    if text and not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            problems.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                if not _PROM_TYPE.match(line):
+                    problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                else:
+                    _, _, name, kind = line.split(" ", 3)
+                    if name in declared:
+                        problems.append(
+                            f"line {lineno}: duplicate TYPE for {name}"
+                        )
+                    declared[name] = kind
+            # Other comments (# HELP ...) are legal and unchecked.
+            continue
+        if not _PROM_SAMPLE.match(line):
+            problems.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        parent = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared and parent not in declared:
+            problems.append(
+                f"line {lineno}: sample {name} has no TYPE declaration"
+            )
+    return problems

@@ -1,0 +1,109 @@
+"""A small stdlib-only client for the scheduling service.
+
+One connection per call (``Connection: close``), JSON in / JSON out.
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
+and the decoded error payload, so callers branch on ``exc.status``
+(429 retry-later, 503 pool-broken, 504 deadline) instead of parsing
+messages.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload) -> None:
+        detail = (
+            payload.get("error") if isinstance(payload, dict) else payload
+        )
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to a running ``balanced-sched serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def raw_request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ):
+        """One HTTP round trip; returns ``(status, body_bytes)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {"Connection": "close"}
+            if payload is not None:
+                body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _post(self, path: str, payload: dict) -> dict:
+        status, body = self.raw_request("POST", path, payload)
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = {"error": body.decode("utf-8", "replace")}
+        if status != 200:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        status, body = self.raw_request("GET", "/healthz")
+        payload = json.loads(body.decode("utf-8"))
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition from ``/metrics``."""
+        status, body = self.raw_request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, body.decode("utf-8", "replace"))
+        return body.decode("utf-8")
+
+    def compile(self, **payload) -> dict:
+        return self._post("/compile", payload)
+
+    def schedule(self, **payload) -> dict:
+        return self._post("/schedule", payload)
+
+    def simulate(self, **payload) -> dict:
+        return self._post("/simulate", payload)
+
+    def simulate_bytes(self, **payload) -> bytes:
+        """The exact response body of ``/simulate`` (byte-identity
+        tests compare this against the batch engine's payload)."""
+        status, body = self.raw_request("POST", "/simulate", payload)
+        if status != 200:
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": body.decode("utf-8", "replace")}
+            raise ServiceError(status, decoded)
+        return body
+
+    def explain(self, **payload) -> dict:
+        return self._post("/explain", payload)

@@ -1,0 +1,530 @@
+"""The asyncio HTTP daemon behind ``balanced-sched serve``.
+
+One process, three layers:
+
+* an asyncio HTTP/1.1 front end (hand-rolled over
+  ``asyncio.start_server`` -- stdlib only, keep-alive, bounded bodies);
+* a single-thread CPU executor through which every compile / schedule
+  / explain render and every engine batch runs, serialising access to
+  the process-wide :class:`~repro.experiments.common.CompilationCache`
+  and the obs registry;
+* the :class:`~repro.service.batcher.SimulationBatcher`, which
+  coalesces concurrent ``/simulate`` requests into single
+  :func:`~repro.experiments.common.evaluate_cells` calls that fan out
+  over the experiment process pool (``--jobs``) using the
+  shared-memory DAG wire format.
+
+Pool death is *surfaced*, not absorbed: the engine runs with
+``inline_fallback=False``, so a pool that breaks past its retry budget
+raises ``PoolBrokenError`` -> HTTP 503 plus a ``pool_downgrade``
+manifest record and a ``service.pool_downgrade`` metric -- and the
+daemon keeps serving, because the next batch builds a fresh pool.
+Already-delivered cells were checkpointed to the result cache, so a
+client retry replays them for free.
+
+Routes: ``GET /healthz``, ``GET /metrics`` (Prometheus text format),
+``POST /compile | /schedule | /simulate | /explain`` (JSON bodies; see
+docs/service.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..experiments.common import (
+    CellResult,
+    CellSpec,
+    MAX_POOL_RETRIES,
+    PoolBrokenError,
+    PoolMapStats,
+    evaluate_cells,
+    shutdown_pool,
+)
+from ..experiments.engine import dispose_all_arenas
+from ..obs import recorder as _obs
+from ..obs.export import prometheus_text
+from .batcher import AdmissionError, DeadlineExceeded, SimulationBatcher
+from .schema import (
+    RequestError,
+    cell_payload,
+    load_request_program,
+    parse_request,
+    to_cell_spec,
+)
+
+logger = logging.getLogger("repro.service.server")
+
+#: Largest request body the daemon will read.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class SchedulingService:
+    """The daemon's state: caches, batcher, executor, HTTP server.
+
+    Construct, ``await startup()``, ``await listen(host, port)``, and
+    eventually ``await shutdown()`` -- or use :meth:`run` (the CLI) /
+    :class:`ServiceThread` (tests, benchmarks), which do all four.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache=None,
+        manifest=None,
+        resume: bool = True,
+        max_queue: int = 64,
+        deadline_s: Optional[float] = 30.0,
+        pool_retries: int = MAX_POOL_RETRIES,
+        batch_window_s: float = 0.01,
+    ) -> None:
+        self.jobs = jobs
+        self.cache = cache
+        self.manifest = manifest
+        self.resume = resume
+        self.max_queue = max_queue
+        self.deadline_s = deadline_s
+        self.pool_retries = pool_retries
+        self.batch_window_s = batch_window_s
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[SimulationBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._owns_recorder = False
+        self._started_at = 0.0
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def startup(self) -> None:
+        rec = _obs.get()
+        if rec is None:
+            rec = _obs.enable()
+            self._owns_recorder = True
+        self._metrics = rec.metrics
+        self._started_at = time.monotonic()
+        if self.manifest is not None:
+            self.manifest.start_run(
+                "serve", jobs=self.jobs, max_queue=self.max_queue
+            )
+        # One CPU thread: renders, engine batches and /metrics scrapes
+        # all serialise here, so the compilation cache and the metrics
+        # registry are never mutated from two threads at once.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="svc-cpu"
+        )
+        self._batcher = SimulationBatcher(
+            self._evaluate_async,
+            max_queue=self.max_queue,
+            window_s=self.batch_window_s,
+            metrics=self._metrics,
+        )
+        self._batcher.start()
+
+    async def listen(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        return self._server
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self, status: str = "ok") -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            await self._batcher.stop()
+            self._batcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        shutdown_pool(wait=False)
+        dispose_all_arenas()
+        if self.manifest is not None:
+            self.manifest.end_run(
+                wall_s=time.monotonic() - self._started_at, status=status
+            )
+        if self._owns_recorder:
+            _obs.disable()
+            self._owns_recorder = False
+
+    def run(self, host: str = "127.0.0.1", port: int = 8321) -> int:
+        """Serve until SIGINT/SIGTERM; the CLI entry point."""
+        return asyncio.run(self._serve_until_signal(host, port))
+
+    async def _serve_until_signal(self, host: str, port: int) -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed: List[signal.Signals] = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await self.startup()
+        try:
+            await self.listen(host, port)
+            print(
+                f"serving on http://{host}:{self.port}",
+                file=sys.stderr,
+                flush=True,
+            )
+            await stop.wait()
+            print("shutting down", file=sys.stderr, flush=True)
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.shutdown()
+        return 0
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    async def _cpu(self, fn: Callable, deadline_s: Optional[float]):
+        """Run ``fn`` on the CPU executor, bounded by the deadline.
+
+        The computation itself is not cancellable (it is a thread), so
+        a timeout abandons the wait -- the result still lands in the
+        compilation/result caches for the client's retry.
+        """
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
+        future = loop.run_in_executor(self._executor, fn)
+        if deadline_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), deadline_s)
+        except asyncio.TimeoutError:
+            raise DeadlineExceeded(deadline_s) from None
+
+    async def _evaluate_async(
+        self, specs: Sequence[CellSpec]
+    ) -> List[CellResult]:
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
+        return await loop.run_in_executor(
+            self._executor, self._evaluate_batch_sync, list(specs)
+        )
+
+    def _evaluate_batch_sync(
+        self, specs: List[CellSpec]
+    ) -> List[CellResult]:
+        stats = PoolMapStats()
+        try:
+            return evaluate_cells(
+                specs,
+                jobs=self.jobs,
+                cache=self.cache,
+                manifest=self.manifest,
+                resume=self.resume,
+                retries=self.pool_retries,
+                inline_fallback=False,
+                stats=stats,
+            )
+        except PoolBrokenError as exc:
+            if self.manifest is not None:
+                self.manifest.record_pool_downgrade(exc.items, exc.cause)
+            if self._metrics is not None:
+                self._metrics.inc("service.pool_downgrade")
+            logger.warning("pool broke serving a batch: %s", exc)
+            raise
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"},
+                        close=True,
+                    )
+                    break
+                method, path, _version = parts
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if length < 0 or length > MAX_BODY_BYTES:
+                    await self._respond(
+                        writer, 413,
+                        {"error": f"body too large (max {MAX_BODY_BYTES})"},
+                        close=True,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                close = headers.get("connection", "").lower() == "close"
+                status, content_type, payload = await self._dispatch(
+                    method, path, body
+                )
+                await self._respond(
+                    writer, status, payload,
+                    content_type=content_type, close=close,
+                )
+                if close:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        content_type: str = "application/json",
+        close: bool = False,
+    ) -> None:
+        if isinstance(payload, bytes):
+            body = payload
+        else:
+            body = (
+                json.dumps(payload, sort_keys=True) + "\n"
+            ).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, str, object]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, "application/json", {"error": "use GET"}
+            return 200, "application/json", {"status": "ok"}
+        if path == "/metrics":
+            if method != "GET":
+                return 405, "application/json", {"error": "use GET"}
+            status, payload = await self._timed("metrics", self._metrics_text)
+            ctype = (
+                "text/plain; version=0.0.4"
+                if status == 200
+                else "application/json"
+            )
+            return status, ctype, payload
+        kind = path.lstrip("/")
+        if kind not in ("compile", "schedule", "simulate", "explain"):
+            return 404, "application/json", {"error": f"no route {path!r}"}
+        if method != "POST":
+            return 405, "application/json", {"error": "use POST"}
+        status, payload = await self._timed(
+            kind, lambda: self._handle_request(kind, body)
+        )
+        return status, "application/json", payload
+
+    async def _timed(self, kind: str, handler) -> Tuple[int, object]:
+        """Run one request handler; map exceptions to statuses and
+        record the obs + manifest accounting every path shares."""
+        start = time.monotonic()
+        try:
+            payload = await handler()
+            status = 200
+        except RequestError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except KeyError as exc:
+            status, payload = 404, {"error": str(exc.args[0])}
+        except AdmissionError as exc:
+            status, payload = 429, {"error": str(exc)}
+        except PoolBrokenError as exc:
+            status, payload = 503, {"error": str(exc)}
+        except DeadlineExceeded as exc:
+            status, payload = 504, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 -- the 500 boundary
+            logger.exception("unhandled error serving %s", kind)
+            status = 500
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+        wall = time.monotonic() - start
+        if self._metrics is not None:
+            self._metrics.inc(
+                "service.requests", endpoint=kind, status=str(status)
+            )
+            self._metrics.observe(
+                "service.request_ms", round(wall * 1000.0, 3), endpoint=kind
+            )
+        if self.manifest is not None and kind != "metrics":
+            self.manifest.record_request(
+                kind=kind, status=status, wall_s=wall
+            )
+        return status, payload
+
+    async def _metrics_text(self) -> bytes:
+        # Rendered on the CPU thread so the registry is not mutated by
+        # an engine batch mid-iteration.
+        assert self._metrics is not None
+        text = await self._cpu(
+            lambda: prometheus_text(self._metrics), self.deadline_s
+        )
+        return text.encode("utf-8")
+
+    async def _handle_request(self, kind: str, body: bytes):
+        try:
+            raw = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"body is not valid JSON: {exc}") from exc
+        request = parse_request(kind, raw)
+        deadline = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.deadline_s
+        )
+        if kind == "simulate":
+            assert self._batcher is not None
+            result = await self._batcher.submit(
+                to_cell_spec(request), deadline
+            )
+            return cell_payload(result)
+        if kind == "compile":
+            def work():
+                program = load_request_program(
+                    request.source, request.program
+                )
+                from ..experiments.runner import render_compile
+
+                return render_compile(program, latency=request.latency)
+        elif kind == "schedule":
+            def work():
+                program = load_request_program(
+                    request.source, request.program
+                )
+                from ..experiments.runner import render_schedule
+
+                return render_schedule(
+                    program,
+                    policy_name=request.policy,
+                    latency=request.latency,
+                    jobs=1,
+                    verbose=request.verbose,
+                )
+        else:  # explain
+            def work():
+                program = load_request_program(
+                    request.source, request.program
+                )
+                from ..experiments.runner import render_explain
+
+                return render_explain(
+                    program,
+                    block=request.block,
+                    latency=request.latency,
+                    context=request.context,
+                    full=request.full,
+                )
+        return {"output": await self._cpu(work, deadline)}
+
+
+class ServiceThread:
+    """Run a :class:`SchedulingService` in a daemon thread on an
+    ephemeral port -- the embedding used by tests, the benchmark and
+    ``tools/check_service.py``'s in-process mode.
+
+    ::
+
+        with ServiceThread(SchedulingService()) as svc:
+            client = ServiceClient(port=svc.port)
+    """
+
+    def __init__(
+        self, service: SchedulingService, host: str = "127.0.0.1"
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._main, name="scheduling-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service thread failed to start in 30s")
+        if self._error is not None:
+            raise RuntimeError("service thread died on startup") from self._error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - surfaced in enter
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.service.startup()
+        try:
+            await self.service.listen(self.host, 0)
+            self.port = self.service.port
+            self._ready.set()
+            await self._stop.wait()
+        finally:
+            await self.service.shutdown()

@@ -111,6 +111,40 @@ class TestStore:
         path.write_bytes(path.read_bytes()[:10])
         assert cache.get_object(key) is None
 
+    def test_truncated_entry_logs_a_warning_naming_the_file(
+        self, tmp_path, caplog
+    ):
+        """Reproducer: a SIGKILL mid-write can leave a torn pickle.
+        The read must degrade to a miss *and say so* -- a silent miss
+        hides disk corruption from the operator."""
+        cache = ResultCache(tmp_path)
+        key = object_key("will-truncate-loudly")
+        cache.put_object(key, {"big": list(range(1000))})
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:17])
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.get_object(key) is None
+        (record,) = [
+            r for r in caplog.records if "corrupt result-cache" in r.message
+        ]
+        assert str(path) in record.getMessage()
+        assert "miss" in record.getMessage()
+
+    def test_empty_entry_logs_a_warning(self, tmp_path, caplog):
+        """Zero-byte files are the most common SIGKILL artifact."""
+        cache = ResultCache(tmp_path)
+        key = object_key("will-be-empty")
+        cache.put_object(key, [1])
+        cache.path_for(key).write_bytes(b"")
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.get_object(key) is None
+        assert any(
+            "corrupt result-cache" in r.message for r in caplog.records
+        )
+        # ...and the next put repairs the entry.
+        cache.put_object(key, [2])
+        assert cache.get_object(key) == [2]
+
     def test_len_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         assert len(cache) == 0

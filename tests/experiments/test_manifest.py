@@ -126,6 +126,72 @@ class TestReader:
         (run,) = read_runs(path)
         assert len(run.cells) == 3
 
+    def test_torn_line_logs_a_warning_naming_the_line(
+        self, tmp_path, caplog
+    ):
+        """Reproducer: SIGKILL mid-append leaves a partial final line.
+        The reader must skip it *with a logged warning* locating the
+        damage, not silently or with a crash."""
+        path = tmp_path / "m.jsonl"
+        _write_run(path)  # 5 records
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "run_end", "wall_s": 3.')  # torn
+        with caplog.at_level(
+            "WARNING", logger="repro.experiments.manifest"
+        ):
+            (run,) = read_runs(path)
+        assert "incomplete" not in run.status  # prior run_end survived
+        (record,) = [
+            r for r in caplog.records if "unparseable" in r.message
+        ]
+        message = record.getMessage()
+        assert str(path) in message
+        assert ":6" in message, "warning must name the damaged line"
+
+    def test_truncated_mid_file_line_keeps_later_runs(
+        self, tmp_path, caplog
+    ):
+        """Torn bytes mid-file (e.g. concurrent writers before the
+        writer lock) must not take later, intact runs down with them."""
+        path = tmp_path / "m.jsonl"
+        _write_run(path, experiment="first")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "cell", "ru\n')  # torn + newline
+        second = _write_run(path, experiment="second")
+        with caplog.at_level(
+            "WARNING", logger="repro.experiments.manifest"
+        ):
+            runs = read_runs(path)
+        assert [r.experiment for r in runs] == ["first", "second"]
+        assert runs[1].run_id == second
+        assert any("unparseable" in r.message for r in caplog.records)
+
+    def test_non_object_records_are_skipped_with_warning(
+        self, tmp_path, caplog
+    ):
+        path = tmp_path / "m.jsonl"
+        _write_run(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('"just a string"\n[1, 2, 3]\n')
+        with caplog.at_level(
+            "WARNING", logger="repro.experiments.manifest"
+        ):
+            (run,) = read_runs(path)
+        assert len(run.cells) == 3
+        assert sum(
+            "non-object" in r.message for r in caplog.records
+        ) == 2
+
+    def test_request_events_are_counted(self, tmp_path):
+        writer = ManifestWriter(tmp_path / "m.jsonl")
+        writer.start_run("serve", jobs=1)
+        writer.record_request(kind="simulate", status=200, wall_s=0.5)
+        writer.record_request(kind="compile", status=400, wall_s=0.01)
+        writer.end_run(wall_s=1.0)
+        (run,) = read_runs(tmp_path / "m.jsonl")
+        assert run.requests == 2
+        assert "requests served: 2" in run.format()
+
     def test_slowest_orders_by_wall_clock(self, tmp_path):
         path = tmp_path / "m.jsonl"
         _write_run(path, cells=3, hits=0)

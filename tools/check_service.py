@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""CI gate for the scheduling service.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_service.py
+
+Boots a real ``balanced-sched serve`` daemon as a subprocess (ephemeral
+port, temp cache + manifest), then checks that
+
+1. every endpoint answers: ``/healthz``, one POST each to
+   ``/compile``, ``/schedule``, ``/simulate`` and ``/explain``;
+2. a repeated ``/simulate`` is byte-identical (shared result cache);
+3. a malformed request is a 400 with a JSON error body, not a crash;
+4. ``/metrics`` scrapes as valid Prometheus text exposition and shows
+   the requests just served;
+5. SIGTERM shuts the daemon down cleanly (exit 0, ``run_end`` record
+   in the manifest, no stray temp files in the cache).
+
+Exit status is the number of problems found (0 = clean).
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.obs.export import validate_prometheus_text  # noqa: E402
+
+SOURCE = (
+    "program smoke\n"
+    "array a[64], b[64], c[64]\n"
+    "kernel k1 freq 5\n"
+    "t1 = a[i] * b[i]\n"
+    "c[i] = t1 + a[i+1]\n"
+    "end\nend\n"
+)
+
+
+def post(port: int, path: str, payload: dict):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def get(port: int, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=60
+    ) as response:
+        return response.status, response.read()
+
+
+def main() -> int:
+    problems = []
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="check-service-"))
+    manifest = tmp / "manifest.jsonl"
+    cache_dir = tmp / "cache"
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.runner", "serve",
+            "--port", "0",
+            "--cache-dir", str(cache_dir),
+            "--manifest", str(manifest),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stderr.readline().strip()
+        if not line.startswith("serving on "):
+            problems.append(f"unexpected startup line: {line!r}")
+            return report(problems)
+        port = int(line.rsplit(":", 1)[-1])
+        print(f"daemon up on port {port}")
+
+        status, body = get(port, "/healthz")
+        if status != 200 or json.loads(body) != {"status": "ok"}:
+            problems.append(f"/healthz: {status} {body!r}")
+
+        status, body = post(port, "/compile", {"source": SOURCE})
+        if status != 200 or "==== balanced" not in json.loads(body)["output"]:
+            problems.append(f"/compile: {status}")
+
+        status, body = post(
+            port, "/schedule", {"source": SOURCE, "policy": "traditional"}
+        )
+        if status != 200 or "scheduled" not in json.loads(body)["output"]:
+            problems.append(f"/schedule: {status}")
+
+        status, body = post(port, "/explain", {"source": SOURCE})
+        if status != 200 or "====" not in json.loads(body)["output"]:
+            problems.append(f"/explain: {status}")
+
+        sim = {"program": "TRACK", "memory": "N(2,5)", "runs": 3,
+               "n_boot": 10}
+        status, first = post(port, "/simulate", sim)
+        if status != 200:
+            problems.append(f"/simulate: {status} {first!r}")
+        else:
+            payload = json.loads(first)
+            for field in ("improvement_pct", "program", "processor"):
+                if field not in payload:
+                    problems.append(f"/simulate payload missing {field!r}")
+            status, second = post(port, "/simulate", sim)
+            if status != 200 or second != first:
+                problems.append(
+                    "/simulate is not byte-stable across requests"
+                )
+
+        status, body = post(port, "/simulate", {"program": "NOPE"})
+        if status != 400 or "error" not in json.loads(body):
+            problems.append(f"malformed request: expected 400, got {status}")
+
+        status, body = get(port, "/metrics")
+        text = body.decode("utf-8")
+        if status != 200:
+            problems.append(f"/metrics: {status}")
+        problems += validate_prometheus_text(text)
+        if 'service_requests{endpoint="simulate",status="200"} 2' not in text:
+            problems.append("/metrics does not count the simulate requests")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            problems.append("daemon did not exit within 60s of SIGTERM")
+            proc.kill()
+            code = proc.wait()
+        if code != 0:
+            problems.append(f"daemon exited {code} on SIGTERM")
+
+        records = [
+            json.loads(line)
+            for line in manifest.read_text().splitlines()
+            if line.strip()
+        ]
+        ends = [r for r in records if r["event"] == "run_end"]
+        if not ends or ends[-1]["status"] != "ok":
+            problems.append("manifest lacks a clean run_end record")
+        requests = [r for r in records if r["event"] == "request"]
+        if len(requests) < 6:
+            problems.append(
+                f"manifest has {len(requests)} request records, expected >=6"
+            )
+        stray = list(cache_dir.rglob("*.tmp"))
+        if stray:
+            problems.append(f"stray temp files in the cache: {stray}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return report(problems)
+
+
+def report(problems) -> int:
+    for problem in problems:
+        print(f"PROBLEM: {problem}")
+    if not problems:
+        print("service smoke: all checks passed")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
