@@ -50,7 +50,8 @@ from ..ir.block import Program
 from ..machine.config import SystemRow
 from ..machine.processor import ProcessorModel, UNLIMITED
 from ..obs import recorder as _obs
-from ..obs.metrics import MetricsRegistry, summarize_delta
+from ..obs import requesttrace as _reqtrace
+from ..obs.metrics import MetricsRegistry, split_series_key, summarize_delta
 from ..obs.recorder import span as _span
 from ..regalloc.target import DEFAULT_REGISTER_FILE, RegisterFile
 from ..simulate.program import DEFAULT_RUNS, ProgramRuns, simulate_program
@@ -295,6 +296,12 @@ class CellSpec:
     n_boot: int = DEFAULT_BOOTSTRAP
     register_file: Optional[RegisterFile] = DEFAULT_REGISTER_FILE
     alias_model: AliasModel = AliasModel.FORTRAN
+    #: Trace ids of the service requests waiting on this cell, threaded
+    #: through the pool so workers can report span fragments under the
+    #: right request (see :mod:`repro.obs.requesttrace`).  Excluded from
+    #: equality/repr, and deliberately invisible to ``spec_token`` --
+    #: tracing never perturbs cache keys or results.
+    trace_ids: Tuple[str, ...] = field(default=(), compare=False, repr=False)
 
 
 #: Per-process evaluators, keyed by everything but (system, processor):
@@ -448,28 +455,123 @@ def _evaluate_cell(spec: CellSpec) -> CellResult:
 
 
 #: One timed cell as it crosses back from a worker: result, wall
-#: seconds, worker pid, and (with obs on) the cell's metrics delta.
-_TimedCell = Tuple[CellResult, float, int, Optional[dict]]
+#: seconds, worker pid, (with obs on) the cell's metrics delta, and
+#: (for traced service requests) the cell's span fragments.
+_TimedCell = Tuple[CellResult, float, int, Optional[dict], List[dict]]
+
+
+def _stall_cycles(delta: Optional[dict]) -> float:
+    """Total load-stall cycles attributed inside one metrics delta."""
+    if not delta:
+        return 0.0
+    return sum(
+        MetricsRegistry.histogram_total(hist)
+        for key, hist in delta.get("histograms", {}).items()
+        if split_series_key(key)[0] == "sim.load_stall_cycles"
+    )
+
+
+def _trace_fragments(
+    spec: CellSpec,
+    wall: float,
+    t0_wall_ns: int,
+    t0_clock_ns: int,
+    rec: Optional[_obs.Recorder],
+    new_spans: Sequence[_obs.SpanEvent],
+    delta: Optional[dict],
+) -> List[dict]:
+    """Span fragments for one evaluated cell, one set per waiting trace.
+
+    The root ``evaluate_cell`` fragment carries the references the
+    tentpole asks for: the cell key (joins the trace to its manifest
+    record and cache entry), the load-stall cycles this evaluation
+    attributed, and whether a decision log was captured.  Top-level
+    recorder spans (compile / simulate_program / bootstrap) become
+    child fragments, remapped from the recorder's monotonic clock onto
+    the epoch timeline so multi-process traces line up.
+    """
+    if not spec.trace_ids:
+        return []
+    args = {
+        "cell_key": cell_key(spec),
+        "program": spec.program,
+        "system": spec.system.label,
+        "processor": spec.processor.name,
+        "stall_cycles": _stall_cycles(delta),
+        "decision_log": (
+            "recorded"
+            if rec is not None and rec.decisions is not None
+            else "off"
+        ),
+    }
+    fragments: List[dict] = []
+    children: List[Tuple[str, int, int, dict]] = []
+    if (
+        rec is not None
+        and new_spans
+        and rec._clock is time.perf_counter_ns  # mappable to epoch time
+    ):
+        min_depth = min(span.depth for span in new_spans)
+        for span in new_spans:
+            if span.depth > min_depth + 1:
+                continue
+            raw_start = span.start_ns + rec.epoch_ns
+            children.append(
+                (
+                    span.name,
+                    t0_wall_ns + (raw_start - t0_clock_ns),
+                    span.duration_ns,
+                    span.args_dict,
+                )
+            )
+    for trace_id in spec.trace_ids:
+        fragments.append(
+            _reqtrace.fragment(
+                trace_id,
+                f"evaluate_cell {spec.program}",
+                cat="engine",
+                start_ns=t0_wall_ns,
+                dur_ns=int(wall * 1e9),
+                args=args,
+            )
+        )
+        for name, start_ns, dur_ns, span_args in children:
+            fragments.append(
+                _reqtrace.fragment(
+                    trace_id,
+                    name,
+                    cat="engine",
+                    start_ns=start_ns,
+                    dur_ns=dur_ns,
+                    args=span_args,
+                )
+            )
+    return fragments
 
 
 def _evaluate_group_timed(specs: Sequence[CellSpec]) -> List[_TimedCell]:
     """Worker entry point: evaluate one compile-sharing group of cells,
-    returning ``(cell, wall_seconds, worker_pid, metrics_delta)``
-    tuples for the manifest.  Deterministic per-cell failures are
-    wrapped so the parent knows exactly which spec died.
+    returning ``(cell, wall_seconds, worker_pid, metrics_delta,
+    span_fragments)`` tuples for the manifest and the request trace
+    store.  Deterministic per-cell failures are wrapped so the parent
+    knows exactly which spec died.
 
     With observability on, each cell's metrics are captured as a
     snapshot delta around its evaluation -- that delta is what crosses
     the process boundary, gets folded into the parent's registry, and
     is summarised onto the cell's manifest record.  (Workers inherit
     the enabled recorder by forking; spans recorded in workers stay
-    worker-local.)
+    worker-local, but cells carrying ``trace_ids`` export their
+    top-level spans as epoch-timestamped fragments.)
     """
     out: List[_TimedCell] = []
     rec = _obs.get()
     for spec in specs:
         _maybe_inject_fault(spec)
         before = rec.metrics.snapshot() if rec is not None else None
+        spans_mark = len(rec.spans) if rec is not None else 0
+        t0_wall = time.time_ns()
+        t0_clock = time.perf_counter_ns()
         start = time.perf_counter()
         try:
             cell = _evaluate_cell(spec)
@@ -481,13 +583,17 @@ def _evaluate_group_timed(specs: Sequence[CellSpec]) -> List[_TimedCell]:
             if rec is not None
             else None
         )
-        out.append((cell, wall, os.getpid(), delta))
+        fragments = _trace_fragments(
+            spec, wall, t0_wall, t0_clock, rec,
+            rec.spans[spans_mark:] if rec is not None else (), delta,
+        )
+        out.append((cell, wall, os.getpid(), delta, fragments))
     return out
 
 
 def _evaluate_group(specs: Sequence[CellSpec]) -> List[CellResult]:
     """Worker entry point: evaluate one compile-sharing group of cells."""
-    return [cell for cell, _, _, _ in _evaluate_group_timed(specs)]
+    return [cell for cell, _, _, _, _ in _evaluate_group_timed(specs)]
 
 
 #: Lazily created, reused across evaluate_cells calls (so `run all`
@@ -555,6 +661,7 @@ def pool_map(
     stats: Optional[PoolMapStats] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
     inline_fallback: bool = True,
+    force_pool: bool = False,
 ) -> List:
     """Map a picklable function over items through the shared pool.
 
@@ -586,6 +693,11 @@ def pool_map(
     scheduling service declines inline execution so a dying pool
     becomes a 503 for the affected requests instead of CPU work on the
     serving process (delivered items keep their results either way).
+    ``force_pool=True`` disables the single-item inline shortcut: even
+    a lone item is dispatched to a real worker process.  The service
+    uses it (with ``jobs > 1``) so every request's work runs off the
+    serving process -- which is also what lets a traced request collect
+    span fragments from a genuine pool worker.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -593,7 +705,7 @@ def pool_map(
     if stats is None:
         stats = PoolMapStats()
     results: List = [None] * len(items)
-    if jobs == 1 or len(items) <= 1:
+    if not force_pool and (jobs == 1 or len(items) <= 1):
         for index, item in enumerate(items):
             results[index] = fn(item)
             if on_result is not None:
@@ -659,6 +771,7 @@ def evaluate_cells(
     retries: int = MAX_POOL_RETRIES,
     inline_fallback: bool = True,
     stats: Optional[PoolMapStats] = None,
+    force_pool: bool = False,
 ) -> List[CellResult]:
     """Evaluate cells, optionally fanned out over a process pool.
 
@@ -724,26 +837,59 @@ def evaluate_cells(
         cached = cache.get(spec) if (cache is not None and resume) else None
         if cached is not None:
             out[index] = cached
+            if spec.trace_ids:
+                # A traced request served from cache still gets an
+                # engine fragment, so its span tree explains the miss
+                # of pool work.
+                now = time.time_ns()
+                _reqtrace.record_fragments(
+                    _reqtrace.fragment(
+                        trace_id,
+                        f"cache_hit {spec.program}",
+                        cat="engine",
+                        start_ns=now,
+                        dur_ns=0,
+                        args={"cell_key": cell_key(spec)},
+                    )
+                    for trace_id in spec.trace_ids
+                )
             record(spec, 0.0, os.getpid(), "hit", 0)
         else:
             missing.append(index)
     if not missing:
         return out
 
-    if jobs == 1 or len(missing) <= 1:
+    if not force_pool and (jobs == 1 or len(missing) <= 1):
         rec = _obs.get()
         for index in missing:
+            spec = specs[index]
             before = rec.metrics.snapshot() if rec is not None else None
+            spans_mark = len(rec.spans) if rec is not None else 0
+            t0_wall = time.time_ns()
+            t0_clock = time.perf_counter_ns()
             start = time.perf_counter()
-            out[index] = _evaluate_cell(specs[index])
+            out[index] = _evaluate_cell(spec)
             wall = time.perf_counter() - start
             summary = None
+            delta = None
             if rec is not None:
                 delta = MetricsRegistry.delta(before, rec.metrics.snapshot())
                 summary = summarize_delta(delta) or None
+            if spec.trace_ids:
+                _reqtrace.record_fragments(
+                    _trace_fragments(
+                        spec, wall, t0_wall, t0_clock, rec,
+                        rec.spans[spans_mark:] if rec is not None else (),
+                        delta,
+                    )
+                )
+                store = _reqtrace.active()
+                if store is not None:
+                    for trace_id in spec.trace_ids:
+                        store.note_timing(trace_id, "pool", wall * 1000.0)
             if cache is not None:
-                cache.put(specs[index], out[index])
-            record(specs[index], wall, os.getpid(), "miss", 0,
+                cache.put(spec, out[index])
+            record(spec, wall, os.getpid(), "miss", 0,
                    metrics=summary)
         return out
 
@@ -781,7 +927,7 @@ def evaluate_cells(
         # Runs as each batch completes: checkpoint immediately so a
         # later crash cannot lose this batch.
         retried = stats.item_attempts.get(batch_pos, 0)
-        for index, (cell, wall, worker, delta) in zip(
+        for index, (cell, wall, worker, delta, fragments) in zip(
             batches[batch_pos], timed
         ):
             out[index] = cell
@@ -795,15 +941,25 @@ def evaluate_cells(
                 if parent_rec is not None and worker != parent_pid:
                     parent_rec.metrics.merge(delta)
                 summary = summarize_delta(delta) or None
+            if fragments:
+                _reqtrace.record_fragments(fragments)
+                store = _reqtrace.active()
+                if store is not None:
+                    for trace_id in specs[index].trace_ids:
+                        store.note_timing(trace_id, "pool", wall * 1000.0)
             record(specs[index], wall, worker, "miss", retried,
                    metrics=summary)
 
     pool_map(
         _evaluate_group_timed, tasks, jobs, retries=retries, stats=stats,
         on_result=consume, inline_fallback=inline_fallback,
+        force_pool=force_pool,
     )
     if stats.inline_items and manifest is not None:
         manifest.record_pool_downgrade(
-            stats.inline_items, cause=stats.last_error
+            stats.inline_items, cause=stats.last_error,
+            trace_ids=sorted(
+                {t for i in missing for t in specs[i].trace_ids}
+            ) or None,
         )
     return out

@@ -22,11 +22,13 @@ added, readers must ignore unknown keys):
     histogram summary from :func:`repro.obs.metrics.summarize_delta`)
 ``pool_downgrade``
     ``run_id, items`` -- plus ``cause`` (repr of the pool-breaking
-    exception) when known
+    exception) when known, and ``trace_ids`` naming the traced service
+    requests that were in flight when the pool broke
 ``request``
     ``run_id, kind ("compile"|"schedule"|"simulate"|"explain"),
     status (HTTP status code), wall_s`` -- one per request served by
-    ``balanced-sched serve`` (see docs/service.md)
+    ``balanced-sched serve`` (see docs/service.md); traced requests
+    also carry their ``trace_id``
 ``run_end``
     ``run_id, experiment, status ("ok"|"interrupted"|"failed"),
     wall_s, cells, hits, misses, retries, inline``
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import os
 import subprocess
 import threading
@@ -153,13 +156,19 @@ class ManifestWriter:
         self._append(record)
 
     def record_pool_downgrade(
-        self, items: int, cause: Optional[str] = None
+        self,
+        items: int,
+        cause: Optional[str] = None,
+        trace_ids: Optional[List[str]] = None,
     ) -> None:
-        """A batch exhausted its pool retries and ran inline.
+        """A batch exhausted its pool retries and ran inline (or, under
+        the service's ``inline_fallback=False``, was failed with a 503).
 
         ``cause`` is the repr of the exception that broke the pool
         (when known), so the manifest can answer *why* the downgrade
-        happened, not just that it did.
+        happened; ``trace_ids`` names the traced requests that were in
+        flight, so the downgrade can be correlated with the requests it
+        hurt (``GET /debug/trace/<id>``).
         """
         self._counts["inline"] = self._counts.get("inline", 0) + items
         record = {
@@ -169,6 +178,8 @@ class ManifestWriter:
         }
         if cause is not None:
             record["cause"] = cause
+        if trace_ids:
+            record["trace_ids"] = sorted(trace_ids)
         self._append(record)
 
     def record_request(
@@ -208,6 +219,12 @@ class ManifestWriter:
 # ----------------------------------------------------------------------
 # Summaries (`balanced-sched manifest`)
 # ----------------------------------------------------------------------
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
 @dataclass
 class RunSummary:
     """One run reassembled from its manifest records."""
@@ -216,7 +233,11 @@ class RunSummary:
     cells: List[dict] = field(default_factory=list)
     end: Optional[dict] = None
     downgrades: int = 0
-    requests: int = 0
+    request_records: List[dict] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return len(self.request_records)
 
     @property
     def run_id(self) -> str:
@@ -249,6 +270,30 @@ class RunSummary:
             self.cells, key=lambda c: c.get("wall_s", 0.0), reverse=True
         )[:top]
 
+    def route_latency_stats(self) -> List[dict]:
+        """Per-route latency stats over this run's ``request`` records:
+        ``[{route, count, p50_ms, p99_ms}, ...]``, routes sorted by
+        name.  Percentiles use the nearest-rank method, so they are
+        exact observed values, not interpolations."""
+        by_route: Dict[str, List[float]] = {}
+        for record in self.request_records:
+            route = str(record.get("kind", "?"))
+            by_route.setdefault(route, []).append(
+                float(record.get("wall_s", 0.0))
+            )
+        out = []
+        for route in sorted(by_route):
+            walls = sorted(by_route[route])
+            out.append(
+                {
+                    "route": route,
+                    "count": len(walls),
+                    "p50_ms": round(_percentile(walls, 0.50) * 1000.0, 3),
+                    "p99_ms": round(_percentile(walls, 0.99) * 1000.0, 3),
+                }
+            )
+        return out
+
     def format(self, top: int = 5) -> str:
         lines = [
             f"run {self.run_id} ({self.experiment})",
@@ -264,6 +309,12 @@ class RunSummary:
         ]
         if self.requests:
             lines.append(f"  requests served: {self.requests}")
+            for stat in self.route_latency_stats():
+                lines.append(
+                    f"    {stat['route']:10s} count {stat['count']:5d}  "
+                    f"p50 {stat['p50_ms']:8.3f}ms  "
+                    f"p99 {stat['p99_ms']:8.3f}ms"
+                )
         if self.cells:
             rate = 100.0 * self.hits / len(self.cells)
             lines.append(
@@ -332,7 +383,7 @@ def read_runs(path) -> List[RunSummary]:
             elif event == "pool_downgrade":
                 by_id[run_id].downgrades += int(record.get("items", 0))
             elif event == "request":
-                by_id[run_id].requests += 1
+                by_id[run_id].request_records.append(record)
     return runs
 
 

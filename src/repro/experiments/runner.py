@@ -630,6 +630,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_s=args.deadline if args.deadline > 0 else None,
         pool_retries=args.pool_retries,
         batch_window_s=args.batch_window,
+        trace_requests=not args.no_tracing,
+        trace_capacity=args.trace_capacity,
     )
     return service.run(host=args.host, port=args.port)
 
@@ -1149,6 +1151,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.01,
         help="seconds to hold a simulation request for coalescing",
+    )
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing (traceparent ids, /debug routes)",
+    )
+    serve.add_argument(
+        "--trace-capacity",
+        type=_positive_int,
+        default=256,
+        help="recent requests kept for /debug/requests and /debug/trace",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -284,13 +284,20 @@ def prometheus_text(metrics: MetricsRegistry) -> str:
         base, labels = split_series_key(key)
         hist = metrics.histograms[key]
         name = prometheus_name(base)
+        exemplar = metrics.exemplars.get(key)
         cumulative = 0
         for value in sorted(hist, key=float):
             cumulative += hist[value]
+            suffix = ""
+            if exemplar is not None and float(exemplar["value"]) <= float(value):
+                # OpenMetrics exemplar on the first bucket containing
+                # the exemplar observation: `... # {trace_id="..."} v`.
+                suffix = _prom_exemplar(exemplar)
+                exemplar = None
             emit(
                 base, "histogram",
                 f"{_prom_series(base + '_bucket', labels, extra=_le_label(value))} "
-                f"{cumulative}",
+                f"{cumulative}{suffix}",
             )
         inf_label = 'le="+Inf"'
         emit(
@@ -320,28 +327,52 @@ def _le_label(value: object) -> str:
     return f'le="{_prom_number(value)}"'
 
 
+def _prom_exemplar(exemplar: dict) -> str:
+    """Render one exemplar suffix (OpenMetrics syntax) for a bucket
+    line: `` # {label="value",...} <observed value>``."""
+    labels = exemplar.get("labels", {})
+    inner = ",".join(
+        f'{_PROM_LABEL_BAD.sub("_", key)}="{_prom_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return f" # {{{inner}}} {_prom_number(exemplar['value'])}"
+
+
+_PROM_LABELS_RE = (
+    r"\{(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*)?\}"
+)
+_PROM_NUMBER_RE = r"-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\+?Inf|NaN)"
 _PROM_SAMPLE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
-    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"  # labels
-    r" -?(\d+(\.\d+)?([eE][+-]?\d+)?|\+?Inf|NaN)$"  # value
+    rf"(?:{_PROM_LABELS_RE})?"  # labels
+    rf" {_PROM_NUMBER_RE}"  # value
+    # Optional OpenMetrics exemplar: ` # {labels} value [timestamp]`.
+    rf"(?P<exemplar> # {_PROM_LABELS_RE} {_PROM_NUMBER_RE}"
+    rf"(?: {_PROM_NUMBER_RE})?)?$"
 )
 _PROM_TYPE = re.compile(
     r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
     r"(counter|gauge|histogram|summary|untyped)$"
 )
+_PROM_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
 def validate_prometheus_text(text: str) -> List[str]:
     """Schema-check a text exposition; returns problems (empty == valid).
 
-    Checks line syntax (TYPE comments and samples), that every sample's
-    metric name was TYPE-declared (histogram series resolve to their
-    parent), and that histogram bucket counts are cumulative.  Used by
-    the service tests and ``tools/check_service.py``.
+    Checks line syntax (TYPE comments, samples, exemplar suffixes),
+    that every sample's metric name was TYPE-declared (histogram series
+    resolve to their parent), that exemplars appear only on ``_bucket``
+    samples, and that each histogram's cumulative bucket counts are
+    non-decreasing in ``le`` order.  Used by the service tests and
+    ``tools/check_service.py``.
     """
     problems: List[str] = []
     declared: Dict[str, str] = {}
+    # (name, labels-minus-le) -> list of (le, count, lineno) in file order.
+    buckets: Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                  List[Tuple[float, float, int]]] = {}
     if text and not text.endswith("\n"):
         problems.append("exposition must end with a newline")
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -361,13 +392,50 @@ def validate_prometheus_text(text: str) -> List[str]:
                     declared[name] = kind
             # Other comments (# HELP ...) are legal and unchecked.
             continue
-        if not _PROM_SAMPLE.match(line):
+        match = _PROM_SAMPLE.match(line)
+        if not match:
             problems.append(f"line {lineno}: malformed sample: {line!r}")
             continue
         name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        if match.group("exemplar") and not name.endswith("_bucket"):
+            problems.append(
+                f"line {lineno}: exemplar on non-bucket sample {name}"
+            )
         parent = re.sub(r"_(bucket|sum|count)$", "", name)
         if name not in declared and parent not in declared:
             problems.append(
                 f"line {lineno}: sample {name} has no TYPE declaration"
             )
+        if name.endswith("_bucket"):
+            sample = line.split(" # ", 1)[0]  # strip any exemplar
+            series, _, value_text = sample.rpartition(" ")
+            labels = dict(_PROM_LABEL_PAIR.findall(series))
+            le_text = labels.pop("le", None)
+            if le_text is None:
+                problems.append(
+                    f"line {lineno}: bucket sample without an 'le' label"
+                )
+                continue
+            try:
+                le = float(le_text.replace("+Inf", "inf"))
+                count = float(value_text)
+            except ValueError:
+                continue  # the sample regex already vetted the syntax
+            group = (name, tuple(sorted(labels.items())))
+            buckets.setdefault(group, []).append((le, count, lineno))
+    for (name, _labels), rows in buckets.items():
+        rows.sort(key=lambda row: row[0])
+        for (lo_le, lo_count, _), (hi_le, hi_count, hi_line) in zip(
+            rows, rows[1:]
+        ):
+            if hi_count < lo_count:
+                problems.append(
+                    f"line {hi_line}: non-monotone bucket counts for "
+                    f"{name}: le={_fmt_le(hi_le)} has {hi_count:g} < "
+                    f"{lo_count:g} at le={_fmt_le(lo_le)}"
+                )
     return problems
+
+
+def _fmt_le(le: float) -> str:
+    return "+Inf" if le == float("inf") else f"{le:g}"

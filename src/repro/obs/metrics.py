@@ -92,12 +92,17 @@ def split_series_key(key: str) -> Tuple[str, Dict[str, str]]:
 class MetricsRegistry:
     """Counters, gauges and exact histograms keyed by flattened series."""
 
-    __slots__ = ("counters", "gauges", "histograms")
+    __slots__ = ("counters", "gauges", "histograms", "exemplars")
 
     def __init__(self) -> None:
         self.counters: Dict[str, Number] = {}
         self.gauges: Dict[str, Number] = {}
         self.histograms: Dict[str, Histogram] = {}
+        #: Last exemplar per histogram series: ``{"value": observed,
+        #: "labels": {...}}`` -- e.g. a trace id attached to a latency
+        #: observation, rendered onto the matching ``_bucket`` line of
+        #: the Prometheus exposition (OpenMetrics exemplar syntax).
+        self.exemplars: Dict[str, dict] = {}
 
     def __len__(self) -> int:
         return len(self.counters) + len(self.gauges) + len(self.histograms)
@@ -112,9 +117,21 @@ class MetricsRegistry:
     def set_gauge(self, name: str, value: Number, **labels) -> None:
         self.gauges[series_key(name, labels)] = value
 
-    def observe(self, name: str, value: Number, **labels) -> None:
-        hist = self.histograms.setdefault(series_key(name, labels), {})
+    def observe(
+        self,
+        name: str,
+        value: Number,
+        *,
+        exemplar: Optional[Dict[str, str]] = None,
+        **labels,
+    ) -> None:
+        key = series_key(name, labels)
+        hist = self.histograms.setdefault(key, {})
         hist[value] = hist.get(value, 0) + 1
+        if exemplar:
+            # Last write wins: one representative (value, labels) pair
+            # per series, e.g. {"trace_id": ...} for /metrics exemplars.
+            self.exemplars[key] = {"value": value, "labels": dict(exemplar)}
 
     def observe_many(
         self, name: str, values: Iterable[Number], **labels
@@ -136,12 +153,23 @@ class MetricsRegistry:
         return sum(hist.values())
 
     def snapshot(self) -> dict:
-        """A deep, picklable copy of the whole registry."""
-        return {
+        """A deep, picklable copy of the whole registry.
+
+        The ``exemplars`` key is present only when non-empty, so
+        snapshots from exemplar-free registries (workers, the batch
+        CLI) keep their historical three-key shape.
+        """
+        snap = {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {k: dict(h) for k, h in self.histograms.items()},
         }
+        if self.exemplars:
+            snap["exemplars"] = {
+                k: {"value": e["value"], "labels": dict(e["labels"])}
+                for k, e in self.exemplars.items()
+            }
+        return snap
 
     @staticmethod
     def delta(before: dict, after: dict) -> dict:
@@ -174,13 +202,22 @@ class MetricsRegistry:
                 }
             if trimmed:
                 histograms[key] = trimmed
-        return {
+        out = {
             "counters": counters, "gauges": gauges, "histograms": histograms
         }
+        exemplars = {
+            key: value
+            for key, value in after.get("exemplars", {}).items()
+            if before.get("exemplars", {}).get(key) != value
+        }
+        if exemplars:
+            out["exemplars"] = exemplars
+        return out
 
     def merge(self, snap: dict) -> None:
         """Fold a snapshot/delta (e.g. from a worker process) into this
-        registry: counters and histogram bins add, gauges overwrite."""
+        registry: counters and histogram bins add, gauges and exemplars
+        overwrite."""
         for key, value in snap.get("counters", {}).items():
             self.counters[key] = self.counters.get(key, 0) + value
         self.gauges.update(snap.get("gauges", {}))
@@ -188,6 +225,8 @@ class MetricsRegistry:
             mine = self.histograms.setdefault(key, {})
             for value, count in hist.items():
                 mine[value] = mine.get(value, 0) + count
+        for key, exemplar in snap.get("exemplars", {}).items():
+            self.exemplars[key] = exemplar
 
     # ------------------------------------------------------------------
     def series(self, name: str) -> List[Tuple[str, Dict[str, str]]]:

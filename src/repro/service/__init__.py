@@ -23,6 +23,11 @@ Layout:
 * :mod:`~repro.service.client` -- a small stdlib-only client.
 """
 
+from ..obs.requesttrace import (
+    RequestTraceStore,
+    TraceContext,
+    parse_traceparent,
+)
 from .batcher import AdmissionError, DeadlineExceeded, SimulationBatcher
 from .client import ServiceClient, ServiceError
 from .schema import (
@@ -37,12 +42,15 @@ __all__ = [
     "AdmissionError",
     "DeadlineExceeded",
     "RequestError",
+    "RequestTraceStore",
     "SchedulingService",
     "ServiceClient",
     "ServiceError",
     "ServiceThread",
     "SimulationBatcher",
+    "TraceContext",
     "cell_payload",
     "parse_request",
+    "parse_traceparent",
     "to_cell_spec",
 ]

@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence
 
 from ..experiments.common import CellResult, CellSpec, cell_key
+from ..obs import requesttrace as _reqtrace
 
 __all__ = ["AdmissionError", "DeadlineExceeded", "SimulationBatcher"]
 
@@ -60,6 +61,9 @@ class _Pending:
     future: "asyncio.Future[CellResult]"
     expires_at: Optional[float] = None
     coalesced: bool = field(default=False)
+    #: Epoch nanoseconds at submit time, so traced requests can report
+    #: how long they sat in the queue before their flush.
+    enqueued_ns: int = 0
 
 
 class SimulationBatcher:
@@ -154,7 +158,13 @@ class SimulationBatcher:
             expires_at=(
                 self._clock() + deadline_s if deadline_s is not None else None
             ),
+            enqueued_ns=time.time_ns(),
         )
+        if spec.trace_ids:
+            store = _reqtrace.active()
+            if store is not None:
+                for trace_id in spec.trace_ids:
+                    store.note_cell(trace_id, pending.key)
         self._queue.append(pending)
         if self._metrics is not None:
             self._metrics.set_gauge("service.queue_depth", float(self.depth))
@@ -211,12 +221,29 @@ class SimulationBatcher:
             return True
         return False
 
+    @staticmethod
+    def _merged_spec(waiters: List[_Pending]) -> CellSpec:
+        """The one spec a coalesced group evaluates, carrying the union
+        of the waiters' trace ids so every traced request in the group
+        still gets its worker span fragments."""
+        spec = waiters[0].spec
+        traced = tuple(
+            dict.fromkeys(
+                trace_id
+                for pending in waiters
+                for trace_id in pending.spec.trace_ids
+            )
+        )
+        if traced != spec.trace_ids:
+            spec = replace(spec, trace_ids=traced)
+        return spec
+
     async def _run_batch(self, batch: List[_Pending]) -> None:
         # Coalesce: identical cell keys evaluate once and fan out.
         by_key: Dict[str, List[_Pending]] = {}
         for pending in batch:
             by_key.setdefault(pending.key, []).append(pending)
-        unique = [waiters[0].spec for waiters in by_key.values()]
+        unique = [self._merged_spec(waiters) for waiters in by_key.values()]
         n_coalesced = len(batch) - len(unique)
         self.batches += 1
         self.coalesced += n_coalesced
@@ -225,6 +252,25 @@ class SimulationBatcher:
             self._metrics.observe("service.batch_size", float(len(unique)))
             if n_coalesced:
                 self._metrics.inc("service.coalesced", n_coalesced)
+        store = _reqtrace.active()
+        flush_ns = time.time_ns() if store is not None else 0
+        if store is not None:
+            fragments = []
+            for pending in batch:
+                if not pending.spec.trace_ids:
+                    continue
+                queue_ns = max(0, flush_ns - pending.enqueued_ns)
+                for trace_id in pending.spec.trace_ids:
+                    store.note_timing(trace_id, "queue", queue_ns / 1e6)
+                    fragments.append(
+                        _reqtrace.fragment(
+                            trace_id,
+                            "batcher.queue",
+                            start_ns=pending.enqueued_ns,
+                            dur_ns=queue_ns,
+                        )
+                    )
+            store.add_fragments(fragments)
         self._inflight += len(batch)
         try:
             # evaluate_cells returns results in spec order, so zipping
@@ -241,6 +287,25 @@ class SimulationBatcher:
                 self._metrics.set_gauge(
                     "service.queue_depth", float(self.depth)
                 )
+            if store is not None:
+                batch_ns = max(0, time.time_ns() - flush_ns)
+                fragments = []
+                for pending in batch:
+                    for trace_id in pending.spec.trace_ids:
+                        store.note_timing(trace_id, "batch", batch_ns / 1e6)
+                        fragments.append(
+                            _reqtrace.fragment(
+                                trace_id,
+                                "batcher.run_batch",
+                                start_ns=flush_ns,
+                                dur_ns=batch_ns,
+                                args={
+                                    "batch_size": len(unique),
+                                    "coalesced": n_coalesced,
+                                },
+                            )
+                        )
+                store.add_fragments(fragments)
         for waiters, result in zip(by_key.values(), results):
             for pending in waiters:
                 if pending.future.done():

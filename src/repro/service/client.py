@@ -41,21 +41,47 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def raw_request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ):
         """One HTTP round trip; returns ``(status, body_bytes)``."""
+        status, body, _ = self.request(
+            method, path, payload=payload, headers=headers
+        )
+        return status, body
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[dict] = None,
+    ):
+        """One HTTP round trip; returns ``(status, body_bytes,
+        response_headers)`` with header names lower-cased.  Pass a
+        ``{"traceparent": ...}`` header to join an existing trace; the
+        daemon's ``traceparent`` response header carries the trace id
+        to feed ``GET /debug/trace/<id>``."""
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = None
-            headers = {"Connection": "close"}
+            send_headers = {"Connection": "close"}
             if payload is not None:
                 body = json.dumps(payload, sort_keys=True).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
+                send_headers["Content-Type"] = "application/json"
+            if headers:
+                send_headers.update(headers)
+            conn.request(method, path, body=body, headers=send_headers)
             response = conn.getresponse()
-            return response.status, response.read()
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, response.read(), response_headers
         finally:
             conn.close()
 
@@ -107,3 +133,44 @@ class ServiceClient:
 
     def explain(self, **payload) -> dict:
         return self._post("/explain", payload)
+
+    # ------------------------------------------------------------------
+    # Tracing and live introspection
+    # ------------------------------------------------------------------
+    def simulate_traced(
+        self, *, traceparent: Optional[str] = None, **payload
+    ):
+        """POST ``/simulate`` inside a trace; returns ``(payload,
+        trace_id)``.  With ``traceparent`` given, the daemon joins that
+        trace (the returned trace id equals the caller's); otherwise
+        the daemon starts one."""
+        headers = {"traceparent": traceparent} if traceparent else None
+        status, body, response_headers = self.request(
+            "POST", "/simulate", payload, headers=headers
+        )
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            decoded = {"error": body.decode("utf-8", "replace")}
+        if status != 200:
+            raise ServiceError(status, decoded)
+        parent = response_headers.get("traceparent", "")
+        trace_id = parent.split("-")[1] if parent.count("-") >= 2 else None
+        return decoded, trace_id
+
+    def debug_requests(self) -> list:
+        """The recent-requests ring from ``GET /debug/requests``."""
+        status, body = self.raw_request("GET", "/debug/requests")
+        payload = json.loads(body.decode("utf-8"))
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload["requests"]
+
+    def debug_trace(self, trace_id: str) -> dict:
+        """One request's Chrome-trace JSON from ``GET /debug/trace/<id>``
+        (load it in Perfetto / ``chrome://tracing``)."""
+        status, body = self.raw_request("GET", f"/debug/trace/{trace_id}")
+        payload = json.loads(body.decode("utf-8"))
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload

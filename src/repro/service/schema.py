@@ -345,9 +345,17 @@ def load_request_program(source: Optional[str], program: Optional[str]):
 # ----------------------------------------------------------------------
 # Simulation payloads
 # ----------------------------------------------------------------------
-def to_cell_spec(request: SimulateRequest) -> CellSpec:
+def to_cell_spec(
+    request: SimulateRequest, trace_id: Optional[str] = None
+) -> CellSpec:
     """The exact work item the batch engine evaluates for this request
-    (identical spec => identical cache key => identical payload)."""
+    (identical spec => identical cache key => identical payload).
+
+    ``trace_id`` piggybacks the request's trace context onto the spec
+    (a compare/repr-excluded field), so pool workers can report span
+    fragments under the right request without a second wire format.
+    The cache key and the result are unaffected.
+    """
     return CellSpec(
         program=request.program,
         system=system_row(request.memory, request.optimistic_latency),
@@ -355,6 +363,7 @@ def to_cell_spec(request: SimulateRequest) -> CellSpec:
         seed=request.seed,
         runs=request.runs,
         n_boot=request.n_boot,
+        trace_ids=(trace_id,) if trace_id else (),
     )
 
 

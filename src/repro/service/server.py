@@ -22,9 +22,21 @@ daemon keeps serving, because the next batch builds a fresh pool.
 Already-delivered cells were checkpointed to the result cache, so a
 client retry replays them for free.
 
-Routes: ``GET /healthz``, ``GET /metrics`` (Prometheus text format),
-``POST /compile | /schedule | /simulate | /explain`` (JSON bodies; see
-docs/service.md).
+Every request is traced (unless ``--no-tracing``): the daemon accepts
+or generates a W3C-style ``traceparent``, threads the trace context
+through the batcher and the engine into pool workers, and reassembles
+the returned span fragments in a bounded
+:class:`~repro.obs.requesttrace.RequestTraceStore`.  Tracing only adds
+a response header, debug routes and log lines -- response *bodies* are
+byte-identical with tracing on, off, or absent (the CLI).
+
+Routes: ``GET /healthz``, ``GET /metrics`` (Prometheus text format,
+with trace-id exemplars on ``service.request_ms`` buckets),
+``GET /debug/requests`` (the recent-requests ring), ``GET
+/debug/trace/<id>`` (one request as Perfetto-loadable Chrome-trace
+JSON), ``POST /compile | /schedule | /simulate | /explain`` (JSON
+bodies; see docs/service.md).  Access lines are JSON objects on the
+``repro.service.access`` logger.
 """
 
 from __future__ import annotations
@@ -50,7 +62,9 @@ from ..experiments.common import (
 )
 from ..experiments.engine import dispose_all_arenas
 from ..obs import recorder as _obs
+from ..obs import requesttrace as _reqtrace
 from ..obs.export import prometheus_text
+from ..obs.requesttrace import RequestTraceStore, TraceContext
 from .batcher import AdmissionError, DeadlineExceeded, SimulationBatcher
 from .schema import (
     RequestError,
@@ -61,6 +75,12 @@ from .schema import (
 )
 
 logger = logging.getLogger("repro.service.server")
+
+#: One JSON object per served request (method, path, status, ms, and
+#: the trace id when tracing is on) -- structured enough to grep, quiet
+#: by default (enable with ``logging.getLogger("repro.service.access")
+#: .setLevel(logging.INFO)`` or the CLI's usual logging config).
+access_log = logging.getLogger("repro.service.access")
 
 #: Largest request body the daemon will read.
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -97,6 +117,8 @@ class SchedulingService:
         deadline_s: Optional[float] = 30.0,
         pool_retries: int = MAX_POOL_RETRIES,
         batch_window_s: float = 0.01,
+        trace_requests: bool = True,
+        trace_capacity: int = 256,
     ) -> None:
         self.jobs = jobs
         self.cache = cache
@@ -106,12 +128,15 @@ class SchedulingService:
         self.deadline_s = deadline_s
         self.pool_retries = pool_retries
         self.batch_window_s = batch_window_s
+        self.trace_requests = trace_requests
+        self.trace_capacity = trace_capacity
         self._executor: Optional[ThreadPoolExecutor] = None
         self._batcher: Optional[SimulationBatcher] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._owns_recorder = False
         self._started_at = 0.0
         self._metrics = None
+        self._trace_store: Optional[RequestTraceStore] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -123,6 +148,13 @@ class SchedulingService:
             self._owns_recorder = True
         self._metrics = rec.metrics
         self._started_at = time.monotonic()
+        if self.trace_requests:
+            # Installed as the module-global sink so the engine (and
+            # the batcher) can forward span fragments without a handle
+            # threaded through evaluate_cells.
+            self._trace_store = _reqtrace.install(
+                RequestTraceStore(capacity=self.trace_capacity)
+            )
         if self.manifest is not None:
             self.manifest.start_run(
                 "serve", jobs=self.jobs, max_queue=self.max_queue
@@ -171,6 +203,9 @@ class SchedulingService:
             self.manifest.end_run(
                 wall_s=time.monotonic() - self._started_at, status=status
             )
+        if self._trace_store is not None:
+            _reqtrace.uninstall(self._trace_store)
+            self._trace_store = None
         if self._owns_recorder:
             _obs.disable()
             self._owns_recorder = False
@@ -248,12 +283,24 @@ class SchedulingService:
                 retries=self.pool_retries,
                 inline_fallback=False,
                 stats=stats,
+                # With jobs > 1, even a single-cell batch goes to a real
+                # pool worker: request CPU work stays off the serving
+                # process, and traced requests collect worker fragments.
+                force_pool=self.jobs > 1,
             )
         except PoolBrokenError as exc:
+            trace_ids = sorted(
+                {t for spec in specs for t in spec.trace_ids}
+            )
             if self.manifest is not None:
-                self.manifest.record_pool_downgrade(exc.items, exc.cause)
+                self.manifest.record_pool_downgrade(
+                    exc.items, exc.cause, trace_ids=trace_ids or None
+                )
             if self._metrics is not None:
                 self._metrics.inc("service.pool_downgrade")
+            if self._trace_store is not None:
+                for trace_id in trace_ids:
+                    self._trace_store.mark(trace_id, "pool_downgrade", True)
             logger.warning("pool broke serving a batch: %s", exc)
             raise
 
@@ -296,13 +343,25 @@ class SchedulingService:
                     break
                 body = await reader.readexactly(length) if length else b""
                 close = headers.get("connection", "").lower() == "close"
-                status, content_type, payload = await self._dispatch(
-                    method, path, body
+                started = time.monotonic()
+                status, content_type, payload, extra = await self._dispatch(
+                    method, path, body, headers
                 )
                 await self._respond(
                     writer, status, payload,
                     content_type=content_type, close=close,
+                    extra_headers=extra,
                 )
+                if access_log.isEnabledFor(logging.INFO):
+                    entry = {
+                        "method": method,
+                        "path": path,
+                        "status": status,
+                        "ms": round((time.monotonic() - started) * 1000, 3),
+                    }
+                    if extra and "traceparent" in extra:
+                        entry["trace_id"] = extra["traceparent"].split("-")[1]
+                    access_log.info(json.dumps(entry, sort_keys=True))
                 if close:
                     break
         except (
@@ -325,6 +384,7 @@ class SchedulingService:
         payload,
         content_type: str = "application/json",
         close: bool = False,
+        extra_headers: Optional[dict] = None,
     ) -> None:
         if isinstance(payload, bytes):
             body = payload
@@ -333,47 +393,84 @@ class SchedulingService:
                 json.dumps(payload, sort_keys=True) + "\n"
             ).encode("utf-8")
         reason = _REASONS.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, str, object]:
+        self, method: str, path: str, body: bytes, headers: dict
+    ) -> Tuple[int, str, object, Optional[dict]]:
         if path == "/healthz":
             if method != "GET":
-                return 405, "application/json", {"error": "use GET"}
-            return 200, "application/json", {"status": "ok"}
+                return 405, "application/json", {"error": "use GET"}, None
+            return 200, "application/json", {"status": "ok"}, None
         if path == "/metrics":
             if method != "GET":
-                return 405, "application/json", {"error": "use GET"}
+                return 405, "application/json", {"error": "use GET"}, None
             status, payload = await self._timed("metrics", self._metrics_text)
             ctype = (
                 "text/plain; version=0.0.4"
                 if status == 200
                 else "application/json"
             )
-            return status, ctype, payload
+            return status, ctype, payload, None
+        if path == "/debug/requests" or path.startswith("/debug/trace/"):
+            if method != "GET":
+                return 405, "application/json", {"error": "use GET"}, None
+            return (*self._debug(path), None)
         kind = path.lstrip("/")
         if kind not in ("compile", "schedule", "simulate", "explain"):
-            return 404, "application/json", {"error": f"no route {path!r}"}
+            return 404, "application/json", {"error": f"no route {path!r}"}, None
         if method != "POST":
-            return 405, "application/json", {"error": "use POST"}
+            return 405, "application/json", {"error": "use POST"}, None
+        ctx: Optional[TraceContext] = None
+        if self._trace_store is not None:
+            ctx = (
+                _reqtrace.parse_traceparent(headers.get("traceparent"))
+                or _reqtrace.new_context()
+            )
+            self._trace_store.begin(ctx, kind)
         status, payload = await self._timed(
-            kind, lambda: self._handle_request(kind, body)
+            kind, lambda: self._handle_request(kind, body, ctx), ctx=ctx
         )
-        return status, "application/json", payload
+        extra = {"traceparent": ctx.traceparent()} if ctx is not None else None
+        return status, "application/json", payload, extra
 
-    async def _timed(self, kind: str, handler) -> Tuple[int, object]:
+    def _debug(self, path: str) -> Tuple[int, str, object]:
+        """The live-introspection routes (tracing must be on)."""
+        store = self._trace_store
+        if store is None:
+            return 404, "application/json", {
+                "error": "request tracing is disabled (--no-tracing)"
+            }
+        if path == "/debug/requests":
+            return 200, "application/json", {"requests": store.recent()}
+        trace_id = path[len("/debug/trace/"):]
+        trace = store.trace(trace_id)
+        if trace is None:
+            return 404, "application/json", {
+                "error": f"no buffered trace {trace_id!r}"
+            }
+        return 200, "application/json", trace
+
+    async def _timed(
+        self, kind: str, handler, ctx: Optional[TraceContext] = None
+    ) -> Tuple[int, object]:
         """Run one request handler; map exceptions to statuses and
-        record the obs + manifest accounting every path shares."""
+        record the obs + manifest + trace accounting every path shares."""
         start = time.monotonic()
+        start_wall_ns = time.time_ns()
         try:
             payload = await handler()
             status = 200
@@ -397,12 +494,35 @@ class SchedulingService:
                 "service.requests", endpoint=kind, status=str(status)
             )
             self._metrics.observe(
-                "service.request_ms", round(wall * 1000.0, 3), endpoint=kind
+                "service.request_ms",
+                round(wall * 1000.0, 3),
+                exemplar=(
+                    {"trace_id": ctx.trace_id} if ctx is not None else None
+                ),
+                endpoint=kind,
             )
         if self.manifest is not None and kind != "metrics":
+            extra = {"trace_id": ctx.trace_id} if ctx is not None else {}
             self.manifest.record_request(
-                kind=kind, status=status, wall_s=wall
+                kind=kind, status=status, wall_s=wall, **extra
             )
+        if ctx is not None and self._trace_store is not None:
+            # The request's root span, under the serving process's pid.
+            self._trace_store.add_fragments(
+                [
+                    _reqtrace.fragment(
+                        ctx.trace_id,
+                        f"request /{kind}",
+                        start_ns=start_wall_ns,
+                        dur_ns=int(wall * 1e9),
+                        args={
+                            "status": status,
+                            "parent_id": ctx.parent_id or "",
+                        },
+                    )
+                ]
+            )
+            self._trace_store.finish(ctx.trace_id, status, wall * 1000.0)
         return status, payload
 
     async def _metrics_text(self) -> bytes:
@@ -414,7 +534,9 @@ class SchedulingService:
         )
         return text.encode("utf-8")
 
-    async def _handle_request(self, kind: str, body: bytes):
+    async def _handle_request(
+        self, kind: str, body: bytes, ctx: Optional[TraceContext] = None
+    ):
         try:
             raw = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -425,12 +547,28 @@ class SchedulingService:
             if request.deadline_s is not None
             else self.deadline_s
         )
+
+        def note_render(started: float) -> None:
+            if ctx is not None and self._trace_store is not None:
+                self._trace_store.note_timing(
+                    ctx.trace_id,
+                    "render",
+                    (time.monotonic() - started) * 1000.0,
+                )
+
         if kind == "simulate":
             assert self._batcher is not None
             result = await self._batcher.submit(
-                to_cell_spec(request), deadline
+                to_cell_spec(
+                    request,
+                    trace_id=ctx.trace_id if ctx is not None else None,
+                ),
+                deadline,
             )
-            return cell_payload(result)
+            render_start = time.monotonic()
+            payload = cell_payload(result)
+            note_render(render_start)
+            return payload
         if kind == "compile":
             def work():
                 program = load_request_program(
@@ -467,7 +605,10 @@ class SchedulingService:
                     context=request.context,
                     full=request.full,
                 )
-        return {"output": await self._cpu(work, deadline)}
+        render_start = time.monotonic()
+        output = await self._cpu(work, deadline)
+        note_render(render_start)
+        return {"output": output}
 
 
 class ServiceThread:

@@ -192,6 +192,78 @@ class TestReader:
         assert run.requests == 2
         assert "requests served: 2" in run.format()
 
+    def test_request_extra_fields_ride_along(self, tmp_path):
+        """``record_request`` passes extras (the trace id) through to
+        the record verbatim, and the reader keeps them."""
+        path = tmp_path / "m.jsonl"
+        writer = ManifestWriter(path)
+        writer.start_run("serve", jobs=1)
+        writer.record_request(
+            kind="simulate", status=200, wall_s=0.5, trace_id="ab" * 16
+        )
+        writer.end_run(wall_s=1.0)
+        (run,) = read_runs(path)
+        assert run.request_records[0]["trace_id"] == "ab" * 16
+
+    def test_pool_downgrade_record_carries_trace_ids(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        writer = ManifestWriter(path)
+        writer.start_run("serve", jobs=2)
+        writer.record_pool_downgrade(
+            2, cause="Boom('worker died')",
+            trace_ids=["bb" * 16, "aa" * 16],
+        )
+        writer.record_pool_downgrade(1)  # untraced batch: no key at all
+        writer.end_run(wall_s=1.0)
+        traced, untraced = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["event"] == "pool_downgrade"
+        ]
+        assert traced["trace_ids"] == ["aa" * 16, "bb" * 16]
+        assert traced["cause"] == "Boom('worker died')"
+        assert "trace_ids" not in untraced
+        (run,) = read_runs(path)
+        assert run.downgrades == 3
+
+    def test_route_latency_stats_golden(self, tmp_path):
+        """Per-route p50/p99 over the request records -- nearest-rank,
+        so the percentiles are exact observed values."""
+        path = tmp_path / "m.jsonl"
+        writer = ManifestWriter(path)
+        writer.start_run("serve", jobs=1)
+        for wall in (0.040, 0.010, 0.030, 0.020):
+            writer.record_request(kind="simulate", status=200, wall_s=wall)
+        writer.record_request(kind="compile", status=200, wall_s=0.005)
+        writer.end_run(wall_s=1.0)
+        (run,) = read_runs(path)
+        assert run.route_latency_stats() == [
+            {"route": "compile", "count": 1, "p50_ms": 5.0, "p99_ms": 5.0},
+            {"route": "simulate", "count": 4, "p50_ms": 20.0,
+             "p99_ms": 40.0},
+        ]
+
+    def test_format_includes_per_route_latency_lines(self, tmp_path):
+        """Golden output for `balanced-sched manifest` on a serve run."""
+        path = tmp_path / "m.jsonl"
+        writer = ManifestWriter(path)
+        writer.start_run("serve", jobs=1)
+        for wall in (0.040, 0.010, 0.030, 0.020):
+            writer.record_request(kind="simulate", status=200, wall_s=wall)
+        writer.record_request(kind="compile", status=200, wall_s=0.005)
+        writer.end_run(wall_s=1.0)
+        (run,) = read_runs(path)
+        text = run.format()
+        assert "requests served: 5" in text
+        assert (
+            "    compile    count     1  "
+            "p50    5.000ms  p99    5.000ms"
+        ) in text
+        assert (
+            "    simulate   count     4  "
+            "p50   20.000ms  p99   40.000ms"
+        ) in text
+
     def test_slowest_orders_by_wall_clock(self, tmp_path):
         path = tmp_path / "m.jsonl"
         _write_run(path, cells=3, hits=0)

@@ -19,7 +19,9 @@ from repro.obs.export import (
     chrome_trace,
     metrics_json,
     phase_summary,
+    prometheus_text,
     validate_chrome_trace,
+    validate_prometheus_text,
     write_chrome_trace,
     write_metrics,
 )
@@ -142,6 +144,91 @@ class TestPhaseSummaryGolden:
     def test_empty_recorder_renders_placeholder(self):
         rec = Recorder(clock=_counting_clock())
         assert "(no spans recorded)" in phase_summary(rec)
+
+
+class TestPrometheusValidator:
+    """The /metrics schema gate, exercised on hand-broken expositions.
+
+    The service tests only ever feed it *valid* output; these are the
+    negative cases that prove the gate can actually fail."""
+
+    def test_real_registry_with_exemplar_is_valid(self):
+        m = MetricsRegistry()
+        m.inc("service.requests", endpoint="simulate", status="200")
+        m.observe(
+            "service.request_ms", 12.5,
+            exemplar={"trace_id": "ab" * 16},
+            endpoint="simulate",
+        )
+        text = prometheus_text(m)
+        assert validate_prometheus_text(text) == []
+        assert f'# {{trace_id="{"ab" * 16}"}} 12.5' in text
+
+    def test_bad_exemplar_syntax_is_flagged(self):
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{le="1"} 1 # {trace_id=} 0.5\n'  # empty label value
+        )
+        problems = validate_prometheus_text(text)
+        assert any("malformed sample" in p for p in problems)
+
+    def test_exemplar_on_non_bucket_sample_is_flagged(self):
+        text = (
+            "# TYPE m counter\n"
+            'm 3 # {trace_id="abcd"} 3\n'
+        )
+        problems = validate_prometheus_text(text)
+        assert any("exemplar on non-bucket sample m" in p for p in problems)
+
+    def test_non_monotone_bucket_counts_are_flagged(self):
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{le="1"} 5\n'
+            'm_bucket{le="2"} 3\n'  # cumulative count went *down*
+            'm_bucket{le="+Inf"} 5\n'
+            "m_sum 7\n"
+            "m_count 5\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("non-monotone bucket counts" in p for p in problems)
+
+    def test_monotone_buckets_compare_le_numerically(self):
+        # le="10" sorts before le="2" as a string; the validator must
+        # order buckets numerically or this valid series would fail.
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{le="2"} 1\n'
+            'm_bucket{le="10"} 4\n'
+            'm_bucket{le="+Inf"} 4\n'
+            "m_sum 42\n"
+            "m_count 4\n"
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_unescaped_label_value_is_flagged(self):
+        text = (
+            "# TYPE m counter\n"
+            'm{path="say "hi""} 1\n'  # unescaped inner quotes
+        )
+        problems = validate_prometheus_text(text)
+        assert any("malformed sample" in p for p in problems)
+
+    def test_escaped_label_value_is_valid(self):
+        m = MetricsRegistry()
+        m.inc("m", path='say "hi"\nback\\slash')
+        assert validate_prometheus_text(prometheus_text(m)) == []
+
+    def test_bucket_without_le_label_is_flagged(self):
+        text = (
+            "# TYPE m histogram\n"
+            'm_bucket{other="x"} 1\n'
+        )
+        problems = validate_prometheus_text(text)
+        assert any("without an 'le' label" in p for p in problems)
+
+    def test_undeclared_sample_is_flagged(self):
+        problems = validate_prometheus_text("mystery 1\n")
+        assert any("no TYPE declaration" in p for p in problems)
 
 
 class TestMetricsExport:

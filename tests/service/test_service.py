@@ -29,7 +29,10 @@ from repro.experiments.common import (
 )
 from repro.experiments.manifest import ManifestWriter, read_runs
 from repro.experiments.runner import main as cli_main
-from repro.obs.export import validate_prometheus_text
+from repro.obs.export import (
+    validate_chrome_trace,
+    validate_prometheus_text,
+)
 from repro.service import (
     SchedulingService,
     ServiceClient,
@@ -266,6 +269,214 @@ class TestPoolKillDrill:
 
         (run,) = read_runs(manifest_path)
         assert run.downgrades > 0, "manifest must record the downgrade"
+
+    def test_downgrade_is_stamped_with_trace_ids_and_traces_survive(
+        self, tmp_path, monkeypatch
+    ):
+        """Reproducer: a pool worker dying under a *traced* request
+        used to leave the ``pool_downgrade`` manifest record and the
+        request record without the active trace ids, so the 503 could
+        not be correlated with the trace that hit it.  Both must carry
+        the caller's trace id -- and tracing must survive the rebuild:
+        a traced retry on the fresh pool still collects worker spans.
+        """
+        sentinel = tmp_path / "worker-died"
+        monkeypatch.setenv(FAULT_PROGRAM_ENV, "TRACK")
+        monkeypatch.setenv(FAULT_ONCE_ENV, str(sentinel))
+        manifest_path = tmp_path / "manifest.jsonl"
+        service = SchedulingService(
+            jobs=2,
+            cache=ResultCache(tmp_path / "cache"),
+            manifest=ManifestWriter(manifest_path),
+            pool_retries=0,
+            batch_window_s=0.0,
+        )
+        caller_trace = "feedfacefeedfacefeedfacefeedface"
+        retry_trace = "deadbeefdeadbeefdeadbeefdeadbeef"
+        with ServiceThread(service) as thread:
+            client = ServiceClient(port=thread.port)
+            # jobs=2 forces even this lone cell onto a pool worker,
+            # where the crash hook kills it -> 503.
+            with pytest.raises(ServiceError) as excinfo:
+                client.simulate_traced(
+                    traceparent=f"00-{caller_trace}-{'12' * 8}-01",
+                    program="TRACK", memory="N(2,5)", runs=3, n_boot=10,
+                )
+            assert excinfo.value.status == 503
+            assert sentinel.exists(), "the worker never died"
+
+            # The recent-requests ring marks the downgraded request.
+            (record,) = [
+                r
+                for r in client.debug_requests()
+                if r["trace_id"] == caller_trace
+            ]
+            assert record["pool_downgrade"] is True
+            assert record["status"] == 503
+
+            # Pool rebuild: the traced retry succeeds and its trace
+            # still carries spans from the *new* worker process.
+            payload, trace_id = client.simulate_traced(
+                traceparent=f"00-{retry_trace}-{'34' * 8}-01",
+                program="TRACK", memory="N(2,5)", runs=3, n_boot=10,
+            )
+            assert trace_id == retry_trace
+            assert payload["program"] == "TRACK"
+            trace = client.debug_trace(retry_trace)
+            assert validate_chrome_trace(trace) == []
+            spans = [
+                e for e in trace["traceEvents"] if e.get("ph") == "X"
+            ]
+            assert len({e["pid"] for e in spans}) >= 2
+
+        records = [
+            json.loads(line)
+            for line in manifest_path.read_text().splitlines()
+        ]
+        (downgrade,) = [
+            r for r in records if r["event"] == "pool_downgrade"
+        ]
+        assert downgrade["trace_ids"] == [caller_trace]
+        failed = [
+            r
+            for r in records
+            if r["event"] == "request" and r["status"] == 503
+        ]
+        assert failed and failed[0]["trace_id"] == caller_trace
+
+
+class TestTracing:
+    """Request-scoped tracing: traceparent round trips, worker span
+    fragments reassemble into a Perfetto-loadable trace, and the debug
+    routes expose the recent-requests ring."""
+
+    CALLER_TRACE = "0af7651916cd43dd8448eb211c80319c"
+    CALLER_SPAN = "b7ad6b7169203331"
+
+    @pytest.fixture(autouse=True)
+    def cold_pool(self):
+        """jobs=2 forks real workers; never leak them across tests."""
+        shutdown_pool()
+        yield
+        shutdown_pool()
+
+    @pytest.fixture
+    def traced(self, tmp_path):
+        """A jobs=2 service, so traced cells run in real pool workers."""
+        service = SchedulingService(
+            jobs=2,
+            cache=ResultCache(tmp_path / "cache"),
+            manifest=ManifestWriter(tmp_path / "manifest.jsonl"),
+            batch_window_s=0.0,
+        )
+        with ServiceThread(service) as thread:
+            yield service, ServiceClient(port=thread.port)
+
+    def _traceparent(self, trace_id=None):
+        return f"00-{trace_id or self.CALLER_TRACE}-{self.CALLER_SPAN}-01"
+
+    def test_caller_trace_id_round_trips(self, traced):
+        _, client = traced
+        payload, trace_id = client.simulate_traced(
+            traceparent=self._traceparent(), **SIM_PAYLOAD
+        )
+        assert trace_id == self.CALLER_TRACE
+        assert "improvement_pct" in payload
+
+    def test_trace_id_is_minted_when_header_absent(self, traced):
+        _, client = traced
+        _, trace_id = client.simulate_traced(**SIM_PAYLOAD)
+        assert trace_id and len(trace_id) == 32
+        assert trace_id != self.CALLER_TRACE
+        int(trace_id, 16)  # well-formed hex
+
+    def test_debug_trace_spans_server_and_worker(self, traced):
+        _, client = traced
+        client.simulate_traced(
+            traceparent=self._traceparent(), **SIM_PAYLOAD
+        )
+        trace = client.debug_trace(self.CALLER_TRACE)
+        assert validate_chrome_trace(trace) == []
+        spans = [
+            e for e in trace["traceEvents"] if e.get("ph") == "X"
+        ]
+        names = {e["name"] for e in spans}
+        assert "request /simulate" in names
+        assert any(n.startswith("evaluate_cell") for n in names)
+        # The engine cell ran in a pool worker: spans from >= 2 pids.
+        assert len({e["pid"] for e in spans}) >= 2
+        assert trace["otherData"]["trace_id"] == self.CALLER_TRACE
+
+    def test_debug_requests_lists_the_request(self, traced):
+        _, client = traced
+        client.simulate_traced(
+            traceparent=self._traceparent(), **SIM_PAYLOAD
+        )
+        (record,) = [
+            r
+            for r in client.debug_requests()
+            if r["trace_id"] == self.CALLER_TRACE
+        ]
+        assert record["route"] == "simulate"
+        assert record["status"] == 200
+        assert record["parent_id"] == self.CALLER_SPAN
+        assert record["spans"] > 0
+        assert record["cell_keys"], "the evaluated cell key is noted"
+        assert "pool" in record["timings_ms"]
+
+    def test_trace_id_lands_on_the_manifest_request_record(
+        self, traced, tmp_path
+    ):
+        _, client = traced
+        client.simulate_traced(
+            traceparent=self._traceparent(), **SIM_PAYLOAD
+        )
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "manifest.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        (request,) = [r for r in records if r["event"] == "request"]
+        assert request["trace_id"] == self.CALLER_TRACE
+
+    def test_tracing_off_is_byte_identical_and_404s_debug(self, tmp_path):
+        """--no-tracing must change nothing but the extras: the
+        /simulate body stays byte-identical to the batch engine, and
+        the debug routes answer 404."""
+        service = SchedulingService(
+            cache=ResultCache(tmp_path / "cache"),
+            trace_requests=False,
+        )
+        with ServiceThread(service) as thread:
+            client = ServiceClient(port=thread.port)
+            spec = to_cell_spec(
+                parse_request("simulate", dict(SIM_PAYLOAD))
+            )
+            (cell,) = evaluate_cells([spec], jobs=1)
+            expected = (
+                json.dumps(cell_payload(cell), sort_keys=True) + "\n"
+            ).encode("utf-8")
+            status, body, headers = client.request(
+                "POST", "/simulate", dict(SIM_PAYLOAD),
+                headers={"traceparent": self._traceparent()},
+            )
+            assert (status, body) == (200, expected)
+            assert "traceparent" not in headers
+            for path in ("/debug/requests", f"/debug/trace/{'a' * 32}"):
+                status, body = client.raw_request("GET", path)
+                assert status == 404
+                assert "tracing is disabled" in json.loads(body)["error"]
+
+    def test_malformed_traceparent_falls_back_to_a_fresh_trace(
+        self, traced
+    ):
+        _, client = traced
+        payload, trace_id = client.simulate_traced(
+            traceparent="00-not-a-real-header", **SIM_PAYLOAD
+        )
+        assert "improvement_pct" in payload
+        assert trace_id and trace_id != self.CALLER_TRACE
 
 
 class TestMetricsEndpoint:

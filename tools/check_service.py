@@ -12,9 +12,16 @@ port, temp cache + manifest), then checks that
    ``/compile``, ``/schedule``, ``/simulate`` and ``/explain``;
 2. a repeated ``/simulate`` is byte-identical (shared result cache);
 3. a malformed request is a 400 with a JSON error body, not a crash;
-4. ``/metrics`` scrapes as valid Prometheus text exposition and shows
-   the requests just served;
-5. SIGTERM shuts the daemon down cleanly (exit 0, ``run_end`` record
+4. a caller-supplied ``traceparent`` round-trips: the response echoes
+   the caller's trace id, ``GET /debug/trace/<id>`` is a valid Chrome
+   trace containing spans from at least two processes (the daemon runs
+   with ``--jobs 2``; on a single-core host the daemon clamps to one
+   worker and the two-process requirement is relaxed), and
+   ``GET /debug/requests`` lists the request;
+5. ``/metrics`` scrapes as valid Prometheus text exposition, shows the
+   requests just served, and carries a trace-id exemplar on the
+   ``service_request_ms`` bucket series;
+6. SIGTERM shuts the daemon down cleanly (exit 0, ``run_end`` record
    in the manifest, no stray temp files in the cache).
 
 Exit status is the number of problems found (0 = clean).
@@ -35,7 +42,10 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
-from repro.obs.export import validate_prometheus_text  # noqa: E402
+from repro.obs.export import (  # noqa: E402
+    validate_chrome_trace,
+    validate_prometheus_text,
+)
 
 SOURCE = (
     "program smoke\n"
@@ -47,17 +57,17 @@ SOURCE = (
 )
 
 
-def post(port: int, path: str, payload: dict):
+def post(port: int, path: str, payload: dict, headers: dict = None):
     request = urllib.request.Request(
         f"http://127.0.0.1:{port}{path}",
         data=json.dumps(payload).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     try:
         with urllib.request.urlopen(request, timeout=300) as response:
-            return response.status, response.read()
+            return response.status, response.read(), dict(response.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, exc.read()
+        return exc.code, exc.read(), dict(exc.headers or {})
 
 
 def get(port: int, path: str):
@@ -78,6 +88,7 @@ def main() -> int:
         [
             sys.executable, "-m", "repro.experiments.runner", "serve",
             "--port", "0",
+            "--jobs", "2",
             "--cache-dir", str(cache_dir),
             "--manifest", str(manifest),
         ],
@@ -86,34 +97,47 @@ def main() -> int:
         text=True,
     )
     try:
-        line = proc.stderr.readline().strip()
-        if not line.startswith("serving on "):
+        # Skip warning lines (e.g. the --jobs clamp on small machines)
+        # until the "serving on" banner; remember whether the pool was
+        # clamped to one worker, which relaxes the two-process trace
+        # check below.
+        clamped = False
+        while True:
+            line = proc.stderr.readline().strip()
+            if not line:
+                problems.append("daemon exited before the serving banner")
+                return report(problems)
+            if "clamped to 1" in line:
+                clamped = True
+                continue
+            if line.startswith("serving on "):
+                break
             problems.append(f"unexpected startup line: {line!r}")
             return report(problems)
         port = int(line.rsplit(":", 1)[-1])
-        print(f"daemon up on port {port}")
+        print(f"daemon up on port {port}" + (" (jobs clamped)" if clamped else ""))
 
         status, body = get(port, "/healthz")
         if status != 200 or json.loads(body) != {"status": "ok"}:
             problems.append(f"/healthz: {status} {body!r}")
 
-        status, body = post(port, "/compile", {"source": SOURCE})
+        status, body, _ = post(port, "/compile", {"source": SOURCE})
         if status != 200 or "==== balanced" not in json.loads(body)["output"]:
             problems.append(f"/compile: {status}")
 
-        status, body = post(
+        status, body, _ = post(
             port, "/schedule", {"source": SOURCE, "policy": "traditional"}
         )
         if status != 200 or "scheduled" not in json.loads(body)["output"]:
             problems.append(f"/schedule: {status}")
 
-        status, body = post(port, "/explain", {"source": SOURCE})
+        status, body, _ = post(port, "/explain", {"source": SOURCE})
         if status != 200 or "====" not in json.loads(body)["output"]:
             problems.append(f"/explain: {status}")
 
         sim = {"program": "TRACK", "memory": "N(2,5)", "runs": 3,
                "n_boot": 10}
-        status, first = post(port, "/simulate", sim)
+        status, first, _ = post(port, "/simulate", sim)
         if status != 200:
             problems.append(f"/simulate: {status} {first!r}")
         else:
@@ -121,23 +145,55 @@ def main() -> int:
             for field in ("improvement_pct", "program", "processor"):
                 if field not in payload:
                     problems.append(f"/simulate payload missing {field!r}")
-            status, second = post(port, "/simulate", sim)
+            status, second, _ = post(port, "/simulate", sim)
             if status != 200 or second != first:
                 problems.append(
                     "/simulate is not byte-stable across requests"
                 )
 
-        status, body = post(port, "/simulate", {"program": "NOPE"})
+        status, body, _ = post(port, "/simulate", {"program": "NOPE"})
         if status != 400 or "error" not in json.loads(body):
             problems.append(f"malformed request: expected 400, got {status}")
+
+        # The traced request goes last so its trace id is the exemplar
+        # the /metrics scrape below sees (exemplars are last-write-wins
+        # per label set), and uses a fresh spec so the engine actually
+        # evaluates it (a cache hit would short-circuit the pool and
+        # leave no worker spans in the trace).
+        caller_trace = "0af7651916cd43dd8448eb211c80319c"
+        traceparent = f"00-{caller_trace}-b7ad6b7169203331-01"
+        traced_sim = dict(sim, program="ADM")
+        status, traced, headers = post(
+            port, "/simulate", traced_sim,
+            headers={"traceparent": traceparent},
+        )
+        if status != 200:
+            problems.append(f"traced /simulate: {status} {traced!r}")
+        else:
+            echoed = headers.get("traceparent", "")
+            if caller_trace not in echoed:
+                problems.append(
+                    f"traceparent did not round-trip: sent trace id "
+                    f"{caller_trace}, response header {echoed!r}"
+                )
+            problems += check_debug(
+                port, caller_trace, expect_workers=not clamped
+            )
 
         status, body = get(port, "/metrics")
         text = body.decode("utf-8")
         if status != 200:
             problems.append(f"/metrics: {status}")
         problems += validate_prometheus_text(text)
-        if 'service_requests{endpoint="simulate",status="200"} 2' not in text:
+        if 'service_requests{endpoint="simulate",status="200"} 3' not in text:
             problems.append("/metrics does not count the simulate requests")
+        if "service_request_ms_bucket" not in text:
+            problems.append("/metrics lacks request-latency bucket series")
+        if f'# {{trace_id="{caller_trace}"}}' not in text:
+            problems.append(
+                "/metrics lacks a trace-id exemplar on the request "
+                "latency buckets"
+            )
 
         proc.send_signal(signal.SIGTERM)
         try:
@@ -170,6 +226,49 @@ def main() -> int:
             proc.kill()
             proc.wait()
     return report(problems)
+
+
+def check_debug(port: int, trace_id: str, expect_workers: bool = True):
+    """Validate the live-introspection routes for one traced request.
+
+    ``expect_workers=False`` (the daemon's pool was clamped to one
+    worker on a single-core machine) drops the two-process requirement
+    -- engine spans then come from the serving process itself."""
+    problems = []
+    status, body = get(port, "/debug/requests")
+    if status != 200:
+        problems.append(f"/debug/requests: {status}")
+    else:
+        recent = json.loads(body)["requests"]
+        match = [r for r in recent if r.get("trace_id") == trace_id]
+        if not match:
+            problems.append(
+                f"/debug/requests does not list trace {trace_id}"
+            )
+        elif match[0].get("status") != 200 or not match[0].get("timings_ms"):
+            problems.append(
+                f"/debug/requests record incomplete: {match[0]!r}"
+            )
+    status, body = get(port, f"/debug/trace/{trace_id}")
+    if status != 200:
+        problems.append(f"/debug/trace/{trace_id}: {status}")
+        return problems
+    trace = json.loads(body)
+    problems += validate_chrome_trace(trace)
+    spans = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    pids = {e["pid"] for e in spans}
+    if expect_workers and len(pids) < 2:
+        problems.append(
+            f"/debug/trace/{trace_id} has spans from {len(pids)} "
+            f"process(es); expected server + pool worker"
+        )
+    names = {e["name"] for e in spans}
+    if not any(name.startswith("evaluate_cell") for name in names):
+        problems.append(
+            f"/debug/trace/{trace_id} lacks a worker evaluate_cell span "
+            f"(got {sorted(names)})"
+        )
+    return problems
 
 
 def report(problems) -> int:
