@@ -8,6 +8,16 @@
 """
 
 from .balanced import AverageWeightScheduler, BalancedScheduler
+from .optimal import (
+    DEFAULT_NODE_BUDGET,
+    InfeasiblePressureError,
+    OptimalScheduler,
+    OptimalScheduleResult,
+    OptimalSearch,
+    max_live_registers,
+    optimize_order,
+    schedule_cost,
+)
 from .pipeline import (
     CompilationResult,
     CompiledBlock,
@@ -41,6 +51,14 @@ __all__ = [
     "CompiledBlock",
     "compile_block",
     "compile_program",
+    "DEFAULT_NODE_BUDGET",
+    "InfeasiblePressureError",
+    "OptimalScheduler",
+    "OptimalScheduleResult",
+    "OptimalSearch",
+    "max_live_registers",
+    "optimize_order",
+    "schedule_cost",
     "SchedulingPolicy",
     "DEFAULT_TIE_BREAKS",
     "ListScheduler",

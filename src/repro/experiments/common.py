@@ -179,6 +179,34 @@ class ProgramEvaluator:
             ),
         )
 
+    def optimal(self, load_latency: float) -> CompilationResult:
+        """The exact compilation for one fixed memory latency.
+
+        Like :meth:`traditional` but through the branch-and-bound
+        backend (:class:`repro.core.OptimalScheduler`): the schedule is
+        provably cycle-minimal under the fixed-latency model whenever
+        the per-block search certifies within budget, and never worse
+        than the balanced schedule otherwise.
+        """
+        from ..core.optimal import OptimalScheduler
+
+        scheduler = OptimalScheduler(load_latency)
+        return COMPILATION_CACHE.get_or_compile(
+            self.program,
+            (
+                "optimal",
+                scheduler.load_latency,
+                self.register_file,
+                self.alias_model,
+            ),
+            lambda: compile_program(
+                self.program,
+                scheduler,
+                register_file=self.register_file,
+                alias_model=self.alias_model,
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------

@@ -714,21 +714,31 @@ def render_schedule(
     wall-clock time, never the listing)."""
     from ..analysis.dependence import build_dag
     from ..core.balanced import BalancedScheduler
+    from ..core.optimal import OptimalScheduler
     from ..core.traditional import TraditionalScheduler
     from .engine import schedule_blocks
 
-    policy = (
-        BalancedScheduler()
-        if policy_name == "balanced"
-        else TraditionalScheduler(latency)
-    )
     blocks = program.all_blocks()
-    dags = []
-    for block in blocks:
-        dag = build_dag(block)
-        policy.assign_weights(dag)
-        dags.append(dag)
-    results = schedule_blocks(blocks, dags, policy._scheduler, jobs=jobs)
+    if policy_name == "optimal":
+        # The exact backend searches rather than list-schedules, so it
+        # runs through the policy interface block by block (`jobs`
+        # still only affects wall-clock: the search is deterministic).
+        policy = OptimalScheduler(latency)
+        results = [
+            policy.schedule_dag(build_dag(block), block) for block in blocks
+        ]
+    else:
+        policy = (
+            BalancedScheduler()
+            if policy_name == "balanced"
+            else TraditionalScheduler(latency)
+        )
+        dags = []
+        for block in blocks:
+            dag = build_dag(block)
+            policy.assign_weights(dag)
+            dags.append(dag)
+        results = schedule_blocks(blocks, dags, policy._scheduler, jobs=jobs)
     buf = io.StringIO()
     for block, result in zip(blocks, results):
         print(
@@ -736,6 +746,15 @@ def render_schedule(
             f"noop span {result.noop_span})",
             file=buf,
         )
+        if policy_name == "optimal":
+            status = "certified optimal" if result.certified else (
+                f"best-effort (lower bound {result.lower_bound})"
+            )
+            print(
+                f"     cost {result.cost} cycles at W={result.load_latency}, "
+                f"{status}, {result.expanded} expansions",
+                file=buf,
+            )
         if verbose:
             for v in result.order:
                 print(f"  {v:3d}  {block.instructions[v]}", file=buf)
@@ -747,15 +766,53 @@ def render_schedule(
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     program = _compile_file(args.file)
-    sys.stdout.write(
-        render_schedule(
+    try:
+        listing = render_schedule(
             program,
             policy_name=args.policy,
             latency=args.latency,
             jobs=args.jobs,
             verbose=args.verbose,
         )
+    except ValueError as exc:  # e.g. --policy optimal --latency 2.5
+        print(f"balanced-sched: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(listing)
+    return 0
+
+
+def _cmd_optimal_gap(args: argparse.Namespace) -> int:
+    from ..workloads.perfect import program_names
+    from .optimalgap import run_optimal_gap
+
+    if args.programs is not None:
+        names = args.programs.split(",")
+        unknown = [n for n in names if n not in program_names()]
+        if unknown:
+            print(
+                f"balanced-sched: unknown program(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(program_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        names = None
+    from ..core.optimal import DEFAULT_NODE_BUDGET
+
+    report = run_optimal_gap(
+        programs=names,
+        node_budget=(
+            args.budget if args.budget is not None else DEFAULT_NODE_BUDGET
+        ),
+        pareto=not args.no_pareto,
     )
+    text = report.format() + "\n"
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        logger.info("wrote %s", args.out)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -1073,9 +1130,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument("file")
     schedule.add_argument(
-        "--policy", choices=["balanced", "traditional"], default="balanced"
+        "--policy",
+        choices=["balanced", "traditional", "optimal"],
+        default="balanced",
     )
-    schedule.add_argument("--latency", type=float, default=2)
+    schedule.add_argument(
+        "--latency",
+        type=float,
+        default=2,
+        help="load latency: the traditional weight, or the optimal "
+        "backend's fixed memory model (must be an integer there)",
+    )
     schedule.add_argument(
         "--jobs",
         type=int,
@@ -1086,6 +1151,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print the scheduled order"
     )
     schedule.set_defaults(handler=_cmd_schedule)
+
+    optimal_gap = sub.add_parser(
+        "optimal-gap",
+        help="exact-scheduler report: per-block optimality gaps and "
+        "latency-vs-pressure Pareto fronts (see docs/optimal.md)",
+    )
+    optimal_gap.add_argument(
+        "--programs",
+        default=None,
+        help="comma-separated subset of Perfect Club programs, "
+        "e.g. --programs ADM,MDG (default: the whole suite)",
+    )
+    optimal_gap.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="branch-and-bound expansion budget per block "
+        "(a deterministic count, not wall-clock; default 250000)",
+    )
+    optimal_gap.add_argument(
+        "--no-pareto",
+        action="store_true",
+        help="skip the ε-constraint register-pressure sweeps "
+        "(they dominate the runtime)",
+    )
+    optimal_gap.add_argument(
+        "--out",
+        default=None,
+        help="write the report here instead of stdout "
+        "(the committed copy lives at results/optimal_gap.txt)",
+    )
+    optimal_gap.set_defaults(handler=_cmd_optimal_gap)
 
     trace = sub.add_parser("trace", help="trace one simulated execution")
     trace.add_argument("file")

@@ -199,16 +199,24 @@ def parse_schedule(payload: object) -> ScheduleRequest:
     )
     source, program = _get_program_source(payload)
     policy = _get_str(payload, "policy", "balanced")
-    if policy not in ("balanced", "traditional"):
+    if policy not in ("balanced", "traditional", "optimal"):
         raise RequestError(
-            f"field 'policy' must be 'balanced' or 'traditional', "
-            f"got {policy!r}"
+            f"field 'policy' must be 'balanced', 'traditional' or "
+            f"'optimal', got {policy!r}"
+        )
+    latency = _get_number(payload, "latency", 2)
+    if policy == "optimal" and (latency != int(latency) or latency < 0):
+        # The exact backend's cost model is the integer-cycle
+        # simulator; reject here so the caller gets a 400, not a 500.
+        raise RequestError(
+            f"field 'latency' must be a non-negative integer when "
+            f"policy is 'optimal', got {latency!r}"
         )
     return ScheduleRequest(
         source=source,
         program=program,
         policy=policy,
-        latency=_get_number(payload, "latency", 2),
+        latency=latency,
         verbose=_get_bool(payload, "verbose", False),
         deadline_s=_get_deadline(payload),
     )

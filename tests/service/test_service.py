@@ -101,6 +101,31 @@ class TestByteIdentity:
         )
         assert got["output"] == expected
 
+    def test_optimal_schedule_matches_the_cli(self, served, tmp_path, capsys):
+        """`"policy": "optimal"` routes through the same renderer as
+        the CLI; the certificate lines (cost / certified / expansions)
+        must agree byte-for-byte -- the search budget is deterministic,
+        and the policy name normalises int-vs-float latency."""
+        _, client = served
+        path = tmp_path / "svc.mf"
+        path.write_text(SOURCE)
+        expected = _cli_stdout(
+            capsys, ["schedule", str(path), "--policy", "optimal",
+                     "--latency", "5", "--verbose"]
+        )
+        got = client.schedule(
+            source=SOURCE, policy="optimal", latency=5, verbose=True
+        )
+        assert got["output"] == expected
+        assert "certified optimal" in got["output"]
+
+    def test_optimal_fractional_latency_is_a_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.schedule(source=SOURCE, policy="optimal", latency=2.5)
+        assert excinfo.value.status == 400
+        assert "latency" in str(excinfo.value)
+
     def test_explain_matches_the_cli(self, served, tmp_path, capsys):
         _, client = served
         path = tmp_path / "svc.mf"

@@ -226,6 +226,47 @@ def test_fuzz_superscalar_widths_across_memory_families(width, seed):
         )
 
 
+# ----------------------------------------------------------------------
+# The exact-backend cross: fuzz-generated programs through the optimal
+# scheduler's legality + cost-chain checks, failures shrunk and written
+# to results/fuzz/ like any other fuzz finding.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzz_optimal_cross_legality_and_cost_chain(seed):
+    """Seeded fuzz programs against the branch-and-bound backend: the
+    two-pass pipeline under the optimal policy must be oracle-clean in
+    both alias models, and on every block the cost chain
+    ``lower_bound <= optimal <= balanced <= worst list schedule`` must
+    hold under both memory models.  A failure is shrunk and persisted
+    as a replayable ``results/fuzz/`` artifact before the test fails."""
+    from repro.verify.fuzz import _check_optimal_cross
+
+    def optimal_mismatches(text):
+        return _check_optimal_cross(compile_minif(text))
+
+    ast = random_ast(spawn("fuzz-optimal-gen", seed), max_statements=4)
+    source = format_program_ast(ast)
+    mismatches = optimal_mismatches(source)
+    if mismatches:
+        shrunk = shrink_source(
+            source, lambda text: bool(optimal_mismatches(text))
+        )
+        path = write_artifact(
+            os.path.join("results", "fuzz"),
+            _ARTIFACT_SEED,
+            900 + seed,
+            source,
+            shrunk,
+            mismatches,
+            RUNS,
+        )
+        pytest.fail(
+            f"optimal-policy cross failed (seed {seed}); shrunk artifact "
+            f"written to {path}:\n"
+            + "\n".join(str(m) for m in mismatches[:5])
+        )
+
+
 @pytest.mark.parametrize("seed", range(10))
 def test_generated_programs_scalar_batch_exact(seed):
     """The fuzz generator's own output, checked directly (a fast,

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI smoke gate for the exact (branch-and-bound) scheduling backend.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_optimal.py [PROGRAMS] [BUDGET]
+
+Runs the optimality-gap report over a small program subset (default
+``TRACK,MG3D,ADM``) at the default deterministic expansion budget and
+asserts the backend's contract:
+
+1. every block <= 64 instructions certifies (the acceptance target is
+   >= 90%; the smoke subset must reach it too);
+2. every optimal schedule passes the independent legality oracle
+   (zero violations);
+3. the cost chain holds on every row: ``lower_bound <= optimal <=
+   balanced`` under the same fixed-latency model, with a certified
+   row closing the gap exactly;
+4. the rendered report is byte-stable across two runs (golden tests
+   and the committed ``results/optimal_gap.txt`` depend on this).
+
+Exit status is the number of problems found (0 = clean), mirroring
+``tools/check_verify.py``.
+"""
+
+import sys
+
+from repro.experiments.optimalgap import run_optimal_gap
+
+DEFAULT_PROGRAMS = "TRACK,MG3D,ADM"
+CERTIFIED_FLOOR = 0.9
+
+
+def check(programs, budget) -> list:
+    problems = []
+    report = run_optimal_gap(programs=programs, node_budget=budget)
+
+    fraction = report.certified_fraction()
+    if fraction < CERTIFIED_FLOOR:
+        problems.append(
+            f"certified fraction {fraction:.2f} below the "
+            f"{CERTIFIED_FLOOR:.0%} floor at budget {budget or 'default'}"
+        )
+    if report.oracle_violations:
+        problems.append(
+            f"legality oracle rejected {report.oracle_violations} "
+            "optimal schedule(s)"
+        )
+    for row in report.rows:
+        where = f"{row.program}/{row.block} ({row.model})"
+        if not (row.lower_bound <= row.optimal_cost <= row.balanced_cost):
+            problems.append(
+                f"cost chain violated at {where}: "
+                f"lb={row.lower_bound} optimal={row.optimal_cost} "
+                f"balanced={row.balanced_cost}"
+            )
+        if row.certified and row.optimal_cost != row.lower_bound:
+            problems.append(
+                f"certified row with an open gap at {where}: "
+                f"cost={row.optimal_cost} lb={row.lower_bound}"
+            )
+
+    again = run_optimal_gap(programs=programs, node_budget=budget)
+    if again.format() != report.format():
+        problems.append("report rendering is not deterministic")
+    return problems
+
+
+def main(argv) -> int:
+    programs = (argv[1] if len(argv) > 1 else DEFAULT_PROGRAMS).split(",")
+    if len(argv) > 2:
+        budget = int(argv[2])
+    else:
+        from repro.core.optimal import DEFAULT_NODE_BUDGET as budget
+    problems = check(programs, budget)
+    for problem in problems:
+        print(f"check_optimal: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            f"check_optimal: {','.join(programs)} certified optimal, "
+            "oracle-clean, cost chain intact, byte-stable report"
+        )
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
