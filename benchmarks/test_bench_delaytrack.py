@@ -1,0 +1,163 @@
+"""Throughput benchmarks for the vectorized delay-tracking kernel.
+
+The delay-tracking issue model (``load_delay_tracking``) reorders
+issue at run time, so its batch kernel cannot reuse the in-order
+cascade the other kernels share -- it steps a global event loop across
+all runs at once.  These benchmarks pin down what that costs relative
+to the scalar oracle and record the numbers in
+``BENCH_delaytrack.json`` (repo root):
+
+* paired batch-vs-scalar timings on every block of the compiled MDG
+  program (the study's style of workload) for DT-8 at widths 1 and 2
+  and the DT-1 small-table case, at 30 runs -- the acceptance floor is
+  a **>= 2x paired-median speedup for width-1 DT-8**;
+* the same pairing on a 512-instruction generated block for DT-8 on
+  the unrestricted and MAX-8 bases, comparable to the large-block rows
+  in ``BENCH_superscalar.json``.
+
+Every timing pair cross-checks cycles against the scalar simulator
+while it is here, so a benchmark run is also an equivalence sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+import pytest
+
+from repro.core import BalancedScheduler
+from repro.core.pipeline import compile_program
+from repro.machine import MAX_8, delay_tracking, superscalar
+from repro.machine.config import SYSTEMS_BY_NAME
+from repro.simulate import simulate_block
+from repro.simulate.batch import simulate_block_batch
+from repro.simulate.rng import spawn
+from repro.workloads import random_block
+from repro.workloads.perfect import load_program
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_delaytrack.json"
+)
+
+RUNS = 30
+MEDIAN_SPEEDUP_FLOOR = 2.0  # paired median, width-1 DT-8 MDG blocks
+
+_RECORD: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_record():
+    """Collect every test's numbers, then write BENCH_delaytrack.json."""
+    yield _RECORD
+    _RECORD["meta"] = {
+        "runs": RUNS,
+        "median_speedup_floor_dt8": MEDIAN_SPEEDUP_FLOOR,
+        "usable_cores": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    BENCH_PATH.write_text(json.dumps(_RECORD, indent=2, sort_keys=True) + "\n")
+    print(f"\n[written to {BENCH_PATH}]")
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _mdg_blocks():
+    compiled = compile_program(load_program("MDG"), BalancedScheduler())
+    return compiled.final_blocks
+
+
+def _paired_times(block, processor, key):
+    """(scalar_seconds, batch_seconds) for one block, cross-checked."""
+    memory = SYSTEMS_BY_NAME["N(2,5)"]
+    n_loads = sum(1 for i in block.instructions if i.is_load)
+    latencies = memory.sample_many(
+        spawn("bench-dt", *key), n_loads * RUNS
+    ).reshape(RUNS, n_loads)
+
+    batch = simulate_block_batch(block.instructions, latencies, processor)
+    for run in (0, RUNS - 1):
+        scalar = simulate_block(
+            block.instructions, [int(x) for x in latencies[run]], processor
+        )
+        assert scalar.cycles == int(batch.cycles[run]), (
+            f"equivalence broke on {key}: run {run}"
+        )
+
+    def scalar_loop():
+        for run in range(RUNS):
+            simulate_block(block.instructions, latencies[run], processor)
+
+    scalar_s = _best_of(scalar_loop)
+    batch_s = _best_of(
+        lambda: simulate_block_batch(block.instructions, latencies, processor)
+    )
+    return scalar_s, batch_s
+
+
+_PROCESSORS = [
+    delay_tracking(8),
+    delay_tracking(8, superscalar(2)),
+    delay_tracking(1),
+]
+
+
+@pytest.mark.parametrize("processor", _PROCESSORS, ids=lambda p: p.name)
+def test_bench_mdg_blocks_paired_median(processor):
+    """Paired per-block speedups on the delay-tracking study workload."""
+    blocks = _mdg_blocks()
+    pairs = []
+    for block in blocks:
+        scalar_s, batch_s = _paired_times(
+            block, processor, (block.name, processor.name)
+        )
+        pairs.append({
+            "block": block.name,
+            "instructions": len(block.instructions),
+            "scalar_seconds": scalar_s,
+            "batch_seconds": batch_s,
+            "speedup": round(scalar_s / batch_s, 2),
+        })
+    median = statistics.median(p["speedup"] for p in pairs)
+    _RECORD[f"mdg_blocks_x30/{processor.name}"] = {
+        "blocks": pairs,
+        "median_speedup": round(median, 2),
+    }
+    if processor.name == "DT-8":
+        assert median >= MEDIAN_SPEEDUP_FLOOR, (
+            f"DT-8 paired-median speedup {median:.2f}x on MDG blocks "
+            f"is below the {MEDIAN_SPEEDUP_FLOOR}x acceptance floor"
+        )
+
+
+@pytest.mark.parametrize(
+    "base", [None, MAX_8], ids=["UNLIMITED", "MAX-8"]
+)
+def test_bench_large_block_dt8_families(base):
+    """A 512-instruction generated block under DT-8, per memory-
+    constraint family -- comparable to ``large_block_512x30`` in
+    BENCH_superscalar.json."""
+    processor = delay_tracking(8) if base is None else delay_tracking(8, base)
+    block = random_block(spawn("bench-dt-large"), n_instructions=512)
+    scalar_s, batch_s = _paired_times(
+        block, processor, ("large", processor.name)
+    )
+    _RECORD[f"large_block_512x30/{processor.name}"] = {
+        "scalar_seconds": scalar_s,
+        "batch_seconds": batch_s,
+        "speedup": round(scalar_s / batch_s, 2),
+        "runs_per_second": round(RUNS / batch_s),
+    }

@@ -1,0 +1,256 @@
+"""Delay-tracking study: does compile-time scheduling still matter when
+the hardware adapts at run time?
+
+Balanced scheduling's premise is that the *compiler* must spread
+uncertain load latencies because the hardware cannot.  A delay-tracking
+issue unit (:mod:`repro.machine.processor`,
+``load_delay_tracking``) weakens that premise: loads that win a
+tracking-table entry announce their return time, and the front end
+parks stalled instructions and issues younger ready work meanwhile.
+This study sweeps the tracking-table size from 0 (the paper's in-order
+interlocked machine) to effectively infinite (perfect per-load
+knowledge) and measures, per Perfect Club program on the canonical
+N(2,5) network memory, the runtime improvement of three
+compile-time-knowledge policies over the traditional scheduler:
+
+* **balanced** -- the paper's policy (no latency knowledge assumed);
+* **known-latency** -- balanced weights with every load pinned to the
+  memory system's mean (:func:`repro.extensions.known_latency.
+  expected_latency`), the compile-time counterpart of delay tracking;
+* **optimal** -- the branch-and-bound backend's exact schedule under
+  the fixed mean-latency model (best-effort at the study budget).
+
+Every simulated issue order is additionally verified: one seeded
+latency draw per (program, policy, table) replays through
+:func:`repro.simulate.simulator.delaytrack_issue_trace` and must pass
+the independent admissibility oracle
+(:func:`repro.verify.check_delaytrack_issue`); the report prints the
+violation count and the CI smoke gate requires zero.
+
+All numbers are deterministic for a fixed seed, so the rendered report
+is byte-stable and committed under ``results/delay_tracking.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.balanced import BalancedScheduler
+from ..core.pipeline import compile_program
+from ..core.traditional import TraditionalScheduler
+from ..extensions.known_latency import KnownLatencyScheduler, expected_latency
+from ..machine.config import N_2_5
+from ..machine.memory import MemorySystem
+from ..machine.processor import ProcessorModel, delay_tracking
+from ..simulate.program import simulate_program
+from ..simulate.rng import DEFAULT_SEED, spawn
+from ..simulate.simulator import delaytrack_issue_trace
+from ..simulate.stats import (
+    percentage_improvement,
+    program_bootstrap_runtimes,
+)
+from ..verify.oracle import check_delaytrack_issue
+from ..workloads.perfect import load_program, program_names
+
+#: Tracking-table sizes swept by the study.  0 is the paper's in-order
+#: interlocked machine; 64 exceeds every suite block's load count, so
+#: it is the perfect-knowledge limit.
+DEFAULT_TABLES: Tuple[int, ...] = (0, 1, 2, 4, 64)
+
+#: Branch-and-bound expansion budget per block for the optimal policy
+#: (deterministic; large enough to certify every suite block).
+STUDY_NODE_BUDGET = 50_000
+
+#: The comparison policies, in presentation order.
+POLICY_ORDER: Tuple[str, ...] = ("balanced", "known-latency", "optimal")
+
+
+@dataclass(frozen=True)
+class DelayTrackCell:
+    """Improvement of one policy over traditional at one table size."""
+
+    program: str
+    table: int
+    policy: str
+    improvement_pct: float
+    ci_low: float
+    ci_high: float
+
+
+@dataclass
+class DelayTrackReport:
+    """The full sweep plus the issue-trace verification tally."""
+
+    memory_name: str
+    optimistic_latency: float
+    tables: Tuple[int, ...]
+    cells: List[DelayTrackCell] = field(default_factory=list)
+    traces_checked: int = 0
+    oracle_violations: int = 0
+    runs: int = 0
+    seed: int = DEFAULT_SEED
+
+    def cell(self, program: str, table: int, policy: str) -> DelayTrackCell:
+        for c in self.cells:
+            if (
+                c.program == program
+                and c.table == table
+                and c.policy == policy
+            ):
+                return c
+        raise KeyError((program, table, policy))
+
+    def mean_improvement(self, table: int, policy: str) -> float:
+        rows = [
+            c for c in self.cells if c.table == table and c.policy == policy
+        ]
+        if not rows:
+            return 0.0
+        return sum(c.improvement_pct for c in rows) / len(rows)
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        programs = sorted({c.program for c in self.cells})
+        lines = [
+            "Delay-tracking study: scheduling vs. hardware that adapts",
+            f"  memory {self.memory_name}, traditional W="
+            f"{self.optimistic_latency:g}, {self.runs} runs, "
+            f"seed {self.seed}",
+            "  cells: % runtime improvement over the traditional schedule",
+            "  on the same processor (positive = policy is faster)",
+            "",
+        ]
+        for policy in POLICY_ORDER:
+            lines.append(f"  policy {policy}:")
+            header = f"  {'program':10s}" + "".join(
+                f"{self._table_label(t):>10s}" for t in self.tables
+            )
+            lines.append(header)
+            lines.append("  " + "-" * (len(header) - 2))
+            for program in programs:
+                row = f"  {program:10s}"
+                for table in self.tables:
+                    c = self.cell(program, table, policy)
+                    row += f"{c.improvement_pct:>+10.1f}"
+                lines.append(row)
+            mean_row = f"  {'mean':10s}"
+            for table in self.tables:
+                mean_row += f"{self.mean_improvement(table, policy):>+10.1f}"
+            lines.append(mean_row)
+            lines.append("")
+        lines.append(
+            f"  issue traces oracle-checked: {self.traces_checked}, "
+            f"violations: {self.oracle_violations}"
+        )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _table_label(table: int) -> str:
+        if table == 0:
+            return "in-order"
+        if table >= 64:
+            return "DT-inf"
+        return f"DT-{table}"
+
+
+# ----------------------------------------------------------------------
+def _policies(memory: MemorySystem, optimistic_latency: float):
+    """The four compiled policies of the study (traditional is the
+    baseline the others are measured against)."""
+    from ..core.optimal import OptimalScheduler
+
+    return {
+        "traditional": TraditionalScheduler(optimistic_latency),
+        "balanced": BalancedScheduler(),
+        "known-latency": KnownLatencyScheduler(expected_latency(memory)),
+        "optimal": OptimalScheduler(
+            int(optimistic_latency), node_budget=STUDY_NODE_BUDGET
+        ),
+    }
+
+
+def _verify_traces(
+    blocks,
+    processor: ProcessorModel,
+    memory: MemorySystem,
+    key: Tuple,
+    seed: int,
+) -> Tuple[int, int]:
+    """One seeded latency draw per block, replayed through the scalar
+    engine's issue log and checked by the independent oracle."""
+    checked = 0
+    violations = 0
+    for block in blocks:
+        if not block.instructions:
+            continue
+        n_loads = sum(1 for i in block.instructions if i.is_load)
+        rng = spawn("delaytrack-verify", *key, block.name, seed=seed)
+        latencies = [int(x) for x in memory.sample_many(rng, n_loads)]
+        trace = delaytrack_issue_trace(
+            block.instructions, latencies, processor
+        )
+        checked += 1
+        violations += len(check_delaytrack_issue(
+            block.instructions, latencies, processor, trace
+        ))
+    return checked, violations
+
+
+def run_delay_tracking(
+    programs: Optional[Sequence[str]] = None,
+    tables: Sequence[int] = DEFAULT_TABLES,
+    memory: MemorySystem = N_2_5,
+    seed: int = DEFAULT_SEED,
+    runs: int = 30,
+) -> DelayTrackReport:
+    """Run the sweep over the paper suite (or a subset)."""
+    names = list(programs) if programs is not None else program_names()
+    optimistic = float(memory.optimistic_latencies[0])
+    report = DelayTrackReport(
+        memory_name=memory.name,
+        optimistic_latency=optimistic,
+        tables=tuple(tables),
+        runs=runs,
+        seed=seed,
+    )
+    policies = _policies(memory, optimistic)
+    for name in names:
+        program = load_program(name)
+        compiled = {
+            tag: compile_program(program, policy)
+            for tag, policy in policies.items()
+        }
+        for table in tables:
+            processor = delay_tracking(int(table))
+            boots: Dict[str, "object"] = {}
+            for tag, artefacts in compiled.items():
+                key = (name, memory.name, f"t{table}", tag)
+                series = simulate_program(
+                    artefacts.final_blocks,
+                    processor,
+                    memory,
+                    spawn("delaytrack", *key, seed=seed),
+                    runs=runs,
+                )
+                boots[tag] = program_bootstrap_runtimes(
+                    series, spawn("delaytrackb", *key, seed=seed)
+                )
+                checked, violations = _verify_traces(
+                    artefacts.final_blocks, processor, memory, key, seed
+                )
+                report.traces_checked += checked
+                report.oracle_violations += violations
+            for policy in POLICY_ORDER:
+                result = percentage_improvement(
+                    boots["traditional"], boots[policy]
+                )
+                report.cells.append(DelayTrackCell(
+                    program=name,
+                    table=int(table),
+                    policy=policy,
+                    improvement_pct=result.mean,
+                    ci_low=result.ci_low,
+                    ci_high=result.ci_high,
+                ))
+    return report

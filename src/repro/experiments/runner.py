@@ -816,6 +816,56 @@ def _cmd_optimal_gap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_delay_track(args: argparse.Namespace) -> int:
+    from ..workloads.perfect import program_names
+    from .delaytrack import DEFAULT_TABLES, run_delay_tracking
+
+    if args.programs is not None:
+        names = args.programs.split(",")
+        unknown = [n for n in names if n not in program_names()]
+        if unknown:
+            print(
+                f"balanced-sched: unknown program(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(program_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        names = None
+    if args.tables is not None:
+        try:
+            tables = tuple(
+                int(part) for part in args.tables.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"balanced-sched: --tables wants comma-separated integers, "
+                f"got {args.tables!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if not tables or any(t < 0 for t in tables):
+            print(
+                "balanced-sched: --tables wants non-negative table sizes",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        tables = DEFAULT_TABLES
+    runs = 3 if args.quick else args.runs
+    report = run_delay_tracking(
+        programs=names, tables=tables, seed=args.seed, runs=runs
+    )
+    text = report.format() + "\n"
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        logger.info("wrote %s", args.out)
+    else:
+        sys.stdout.write(text)
+    return 0 if report.oracle_violations == 0 else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from ..core.balanced import BalancedScheduler
     from ..core.pipeline import compile_program
@@ -832,6 +882,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        processor = _processor_for(args)
+    except ValueError as exc:
+        print(f"balanced-sched: {exc}", file=sys.stderr)
+        return 2
+    if processor.issue_width != 1 or processor.load_delay_tracking:
+        print(
+            f"balanced-sched: trace models in-order single-issue only; "
+            f"{processor.name} reorders or multi-issues (try "
+            f"`balanced-sched delay-track` for adaptive-issue results)",
+            file=sys.stderr,
+        )
+        return 2
     policy = (
         BalancedScheduler()
         if args.policy == "balanced"
@@ -842,7 +905,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     rng = spawn("cli-trace", args.file, memory.name, seed=args.seed)
     for block in compiled.final_blocks:
         print(f"==== {block.name} on {memory.name} under {policy.name}")
-        trace = trace_with_memory(block, _processor_for(args), memory, rng)
+        trace = trace_with_memory(block, processor, memory, rng)
         print(trace.render())
         by_reason = trace.stalls_by_reason()
         if by_reason:
@@ -854,11 +917,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _processor_for(args: argparse.Namespace):
-    from ..machine.processor import LEN_8, MAX_8, UNLIMITED
+    from ..machine.config import parse_processor
 
-    return {"unlimited": UNLIMITED, "max8": MAX_8, "len8": LEN_8}[
-        args.processor
-    ]
+    return parse_processor(args.processor)
 
 
 # ----------------------------------------------------------------------
@@ -1184,6 +1245,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     optimal_gap.set_defaults(handler=_cmd_optimal_gap)
 
+    delay_track = sub.add_parser(
+        "delay-track",
+        help="delay-tracking study: scheduling-policy improvements vs. "
+        "tracking-table size on adaptive hardware "
+        "(see docs/delay_tracking.md)",
+    )
+    delay_track.add_argument(
+        "--programs",
+        default=None,
+        help="comma-separated subset of Perfect Club programs, "
+        "e.g. --programs ADM,MDG (default: the whole suite)",
+    )
+    delay_track.add_argument(
+        "--tables",
+        default=None,
+        help="comma-separated tracking-table sizes to sweep "
+        "(default 0,1,2,4,64; 0 = the paper's in-order machine)",
+    )
+    delay_track.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    delay_track.add_argument("--runs", type=_positive_int, default=30)
+    delay_track.add_argument(
+        "--quick", action="store_true", help="3-run smoke pass"
+    )
+    delay_track.add_argument(
+        "--out",
+        default=None,
+        help="write the report here instead of stdout "
+        "(the committed copy lives at results/delay_tracking.txt)",
+    )
+    delay_track.set_defaults(handler=_cmd_delay_track)
+
     trace = sub.add_parser("trace", help="trace one simulated execution")
     trace.add_argument("file")
     trace.add_argument("--memory", default="N(2,5)")
@@ -1193,8 +1285,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--latency", type=float, default=2)
     trace.add_argument(
         "--processor",
-        choices=["unlimited", "max8", "len8"],
         default="unlimited",
+        help="processor spec: <base>[x<width>][+dt<table>] with base "
+        "unlimited/max8/len8/blocking, or dt<table> "
+        "(e.g. max8, unlimitedx4, dt8, len8x2+dt4)",
     )
     trace.add_argument("--seed", type=int, default=DEFAULT_SEED)
     trace.set_defaults(handler=_cmd_trace)

@@ -58,6 +58,24 @@ def second_access_same_line(
     return oracle
 
 
+def expected_latency(memory) -> LatencyOracle:
+    """Oracle pinning *every* load to the memory system's mean latency.
+
+    The compile-time counterpart of a delay-tracking issue unit: where
+    the hardware learns each load's actual return time after issue, a
+    compiler armed with the memory system's distribution can at best
+    schedule for its expectation.  ``memory`` is anything with a
+    ``mean_latency`` property (a :class:`repro.machine.MemorySystem`);
+    the mean is rounded to whole cycles, floored at 1.
+    """
+    pinned = max(1, round(float(memory.mean_latency)))
+
+    def oracle(dag: CodeDAG, node: int) -> Optional[int]:
+        return pinned
+
+    return oracle
+
+
 class KnownLatencyScheduler(SchedulingPolicy):
     """Balanced weights, except where the latency oracle knows better."""
 

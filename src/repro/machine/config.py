@@ -10,10 +10,21 @@ way the tables group them.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from .memory import CacheMemory, MemorySystem, MixedMemory, NetworkMemory
+from .processor import (
+    BLOCKING,
+    DT_8,
+    LEN_8,
+    MAX_8,
+    ProcessorModel,
+    UNLIMITED,
+    delay_tracking,
+    superscalar,
+)
 
 # ----------------------------------------------------------------------
 # The twelve memory systems of Section 4.5
@@ -90,3 +101,57 @@ def system_row(memory_name: str, optimistic_latency: float) -> SystemRow:
         if memory in systems:
             return SystemRow(memory, optimistic_latency, group)
     raise KeyError(memory_name)
+
+
+# ----------------------------------------------------------------------
+# Named processor configurations
+# ----------------------------------------------------------------------
+#: The processor configurations addressable by name across the CLI and
+#: the service, including the delay-tracking family.
+PROCESSORS_BY_NAME: Dict[str, ProcessorModel] = {
+    "unlimited": UNLIMITED,
+    "max8": MAX_8,
+    "len8": LEN_8,
+    "blocking": BLOCKING,
+    "dt8": DT_8,
+}
+
+_PROCESSOR_SPEC = re.compile(
+    r"^(?P<base>unlimited|max8|len8|blocking)"
+    r"(?:x(?P<width>\d+))?"
+    r"(?:\+dt(?P<table>\d+))?$"
+)
+
+
+def parse_processor(spec: str) -> ProcessorModel:
+    """Parse a processor spec such as ``max8``, ``unlimitedx4`` or
+    ``len8x2+dt4``.
+
+    The grammar is ``<base>[x<width>][+dt<table>]`` with base one of
+    ``unlimited``/``max8``/``len8``/``blocking``; ``x<width>`` is the
+    superscalar issue width and ``+dt<table>`` the delay-tracking
+    table size.  ``dt<table>`` alone abbreviates ``unlimited+dt<table>``.
+    Raises :class:`ValueError` for anything else.
+    """
+    text = spec.strip().lower()
+    match = re.fullmatch(r"dt(\d+)", text)
+    if match:
+        return delay_tracking(int(match.group(1)))
+    match = _PROCESSOR_SPEC.match(text)
+    if match is None:
+        raise ValueError(f"unknown processor spec {spec!r}")
+    processor = {
+        "unlimited": UNLIMITED,
+        "max8": MAX_8,
+        "len8": LEN_8,
+        "blocking": BLOCKING,
+    }[match.group("base")]
+    if match.group("width") is not None:
+        width = int(match.group("width"))
+        if width < 1:
+            raise ValueError(f"issue width must be >= 1 in {spec!r}")
+        if width > 1:
+            processor = superscalar(width, processor)
+    if match.group("table") is not None:
+        processor = delay_tracking(int(match.group("table")), processor)
+    return processor

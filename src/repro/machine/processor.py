@@ -20,6 +20,16 @@ natively: the scalar :func:`~repro.simulate.simulator.simulate_block`
 and the run-vectorized :func:`~repro.simulate.batch.
 simulate_block_batch` model in-order multi-issue cycle-identically
 (there is no scalar fallback in the batch path).
+
+``load_delay_tracking`` is the modern-processor scenario (Diavastos &
+Carlson, arXiv 2109.03112): the issue logic observes each load's
+actual delay as the load resolves and reorders its ready queue around
+instructions whose operands it *knows* are still in flight.  The
+tracking table has finite capacity; only loads that win a table entry
+at issue time publish their delay to the issue logic.  Table size 0
+degrades exactly to the in-order interlocked model above, and a table
+at least as large as the number of loads in flight gives the hardware
+perfect per-load knowledge.  See ``docs/delay_tracking.md``.
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ class ProcessorModel:
     max_load_cycles: Optional[int] = None
     issue_width: int = 1
     blocking_loads: bool = False
+    load_delay_tracking: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.issue_width < 1:
@@ -52,6 +63,8 @@ class ProcessorModel:
             raise ValueError("max_outstanding_loads must be >= 1")
         if self.max_load_cycles is not None and self.max_load_cycles < 1:
             raise ValueError("max_load_cycles must be >= 1")
+        if self.load_delay_tracking is not None and self.load_delay_tracking < 0:
+            raise ValueError("load_delay_tracking must be >= 0")
 
     def __str__(self) -> str:
         return self.name
@@ -77,11 +90,13 @@ BLOCKING = ProcessorModel("BLOCKING", blocking_loads=True)
 def model_family(processor: ProcessorModel) -> str:
     """The constraint family a processor model belongs to.
 
-    One of ``"superscalar"``, ``"blocking"``, ``"len"``, ``"max"``,
-    ``"len+max"`` or ``"unlimited"`` -- the axes along which the
-    simulators special-case behaviour, and therefore the coverage
-    classes the verification fuzzer stratifies over.
+    One of ``"delaytrack"``, ``"superscalar"``, ``"blocking"``,
+    ``"len"``, ``"max"``, ``"len+max"`` or ``"unlimited"`` -- the axes
+    along which the simulators special-case behaviour, and therefore
+    the coverage classes the verification fuzzer stratifies over.
     """
+    if processor.load_delay_tracking is not None:
+        return "delaytrack"
     if processor.issue_width > 1:
         return "superscalar"
     if processor.blocking_loads:
@@ -102,4 +117,32 @@ def superscalar(width: int, base: ProcessorModel = UNLIMITED) -> ProcessorModel:
         max_outstanding_loads=base.max_outstanding_loads,
         max_load_cycles=base.max_load_cycles,
         issue_width=width,
+        load_delay_tracking=base.load_delay_tracking,
     )
+
+
+def delay_tracking(table_size: int, base: ProcessorModel = UNLIMITED) -> ProcessorModel:
+    """A delay-tracking variant of ``base`` with ``table_size`` entries.
+
+    Keeps every other attribute of ``base`` (memory constraints, issue
+    width, blocking behaviour) so the adaptive issue logic composes
+    with the MAX-n / LEN-n / BLOCKING families and superscalar widths.
+    """
+    if base.name == UNLIMITED.name and base.issue_width == 1 and not base.blocking_loads:
+        name = f"DT-{table_size}"
+    else:
+        name = f"{base.name}+DT{table_size}"
+    return ProcessorModel(
+        name=name,
+        max_outstanding_loads=base.max_outstanding_loads,
+        max_load_cycles=base.max_load_cycles,
+        issue_width=base.issue_width,
+        blocking_loads=base.blocking_loads,
+        load_delay_tracking=table_size,
+    )
+
+
+#: The headline delay-tracking configuration of the ROADMAP's
+#: modern-processor scenario: an eight-entry tracking table on the
+#: otherwise-unconstrained machine.
+DT_8 = delay_tracking(8)

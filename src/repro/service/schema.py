@@ -22,19 +22,22 @@ from typing import Dict, Optional
 
 from ..experiments.common import CellResult, CellSpec
 from ..ir.block import Program
-from ..machine.config import SYSTEMS_BY_NAME, system_row
-from ..machine.processor import LEN_8, MAX_8, UNLIMITED, ProcessorModel
+from ..machine.config import (
+    PROCESSORS_BY_NAME,
+    SYSTEMS_BY_NAME,
+    parse_processor,
+    system_row,
+)
+from ..machine.processor import ProcessorModel
 from ..simulate.program import DEFAULT_RUNS
 from ..simulate.rng import DEFAULT_SEED
 from ..simulate.stats import DEFAULT_BOOTSTRAP
 
-#: The named processor models a request may ask for (the same choices
-#: as ``balanced-sched trace --processor``).
-PROCESSORS: Dict[str, ProcessorModel] = {
-    "unlimited": UNLIMITED,
-    "max8": MAX_8,
-    "len8": LEN_8,
-}
+#: The named processor models a request may ask for.  Any
+#: ``parse_processor`` spec (``<base>[x<width>][+dt<table>]``, e.g.
+#: ``len8x2+dt4``) is also accepted -- the same grammar as
+#: ``balanced-sched trace --processor``.
+PROCESSORS: Dict[str, ProcessorModel] = dict(PROCESSORS_BY_NAME)
 
 #: Request kinds the daemon serves (also its POST endpoint names).
 KINDS = ("compile", "schedule", "simulate", "explain")
@@ -266,11 +269,14 @@ def parse_simulate(payload: object) -> SimulateRequest:
             f"choose from {sorted(SYSTEMS_BY_NAME)}"
         )
     processor = _get_str(payload, "processor", "unlimited")
-    if processor not in PROCESSORS:
+    try:
+        parse_processor(processor)
+    except ValueError:
         raise RequestError(
-            f"unknown processor {processor!r}; "
-            f"choose from {sorted(PROCESSORS)}"
-        )
+            f"unknown processor {processor!r}; choose from "
+            f"{sorted(PROCESSORS)} or a spec like 'len8x2+dt4' "
+            f"(<base>[x<width>][+dt<table>])"
+        ) from None
     latency = _get_number(payload, "optimistic_latency", 2)
     if not 0 < latency <= 1000:
         raise RequestError(
@@ -367,7 +373,7 @@ def to_cell_spec(
     return CellSpec(
         program=request.program,
         system=system_row(request.memory, request.optimistic_latency),
-        processor=PROCESSORS[request.processor],
+        processor=parse_processor(request.processor),
         seed=request.seed,
         runs=request.runs,
         n_boot=request.n_boot,

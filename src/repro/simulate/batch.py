@@ -39,7 +39,11 @@ import numpy as np
 from ..ir.instructions import Instruction, Opcode
 from ..machine.processor import ProcessorModel, UNLIMITED
 from ..obs import recorder as _obs
-from .simulator import LatencyOverrunError
+from .simulator import (
+    LatencyOverrunError,
+    conflict_successors,
+    warn_blocking_ignored,
+)
 
 
 @dataclass(frozen=True)
@@ -237,18 +241,22 @@ def simulate_block_batch(
         empty = np.zeros(0, dtype=np.int64)
         return BatchSimResult(empty, len(executed), empty.copy())
 
+    if processor.load_delay_tracking is not None:
+        kernel = "delaytrack"
+    elif processor.issue_width > 1:
+        kernel = "superscalar"
+    else:
+        kernel = "single-issue"
     rec = _obs.get()
     if rec is not None:
-        rec.metrics.inc(
-            "sim.batch_kernel",
-            runs,
-            kernel=(
-                "superscalar" if processor.issue_width > 1 else "single-issue"
-            ),
-        )
+        rec.metrics.inc("sim.batch_kernel", runs, kernel=kernel)
 
     steps, n_regs = _index_steps(executed)
-    if processor.issue_width > 1:
+    if kernel == "delaytrack":
+        return _delaytrack_kernel(
+            executed, steps, n_regs, latencies, processor, runs
+        )
+    if kernel == "superscalar":
         return _superscalar_kernel(steps, n_regs, latencies, processor, runs)
     return _single_issue_kernel(steps, n_regs, latencies, processor, runs)
 
@@ -349,10 +357,13 @@ def _superscalar_kernel(
 
     Like the scalar superscalar path, ``blocking_loads`` is ignored at
     ``issue_width > 1`` (no such model exists in the paper or the
-    suite); exact scalar/batch agreement is what the fuzz harness
-    pins, for blocking configurations too.
+    suite) -- loudly, via :func:`~repro.simulate.simulator.
+    warn_blocking_ignored`; exact scalar/batch agreement is what the
+    fuzz harness pins, for blocking configurations too.
     """
     width = processor.issue_width
+    if processor.blocking_loads:
+        warn_blocking_ignored(processor, runs)
     reg_ready = np.zeros((n_regs, runs), dtype=np.int64)
     cycle = np.zeros(runs, dtype=np.int64)
     slots_used = np.zeros(runs, dtype=np.int64)
@@ -416,4 +427,338 @@ def _superscalar_kernel(
         total = np.zeros(runs, dtype=np.int64)
     return BatchSimResult(
         cycles=total, instructions=len(steps), interlocks=total - busy
+    )
+
+
+class _DTWindows:
+    """LEN-n freeze windows for the delay-tracking kernel.
+
+    The adaptive issue logic *probes* hypothetical issue times for
+    every visible candidate before committing to one, so -- unlike
+    :class:`_WindowBuffer` -- application must not prune: a window that
+    a late candidate has passed may still bind an earlier one.  Rows
+    are ``(runs,)`` start/end pairs in global issue-step order (per-run
+    issue times are monotone, so per-run starts are too, and the
+    scalar simulator's one-forward-pass fixed-point argument holds);
+    dead rows are pruned once per outer step against the per-run
+    evaluation clock, which also only grows.
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self) -> None:
+        self.starts: List[np.ndarray] = []
+        self.ends: List[np.ndarray] = []
+
+    def push(self, start: np.ndarray, end: np.ndarray) -> None:
+        self.starts.append(start)
+        self.ends.append(end)
+
+    def apply_mat(self, t: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Push a ``(..., k)`` matrix of probe times past every window,
+        without mutating buffer state.  ``idx`` names the run behind
+        each trailing-axis column."""
+        for start, end in zip(self.starts, self.ends):
+            s, f = start[idx], end[idx]
+            hit = (s <= t) & (t < f)
+            if hit.any():
+                t = np.where(hit, f, t)
+        return t
+
+    def prune(self, now: np.ndarray) -> None:
+        if not self.starts:
+            return
+        keep = [
+            k
+            for k in range(len(self.starts))
+            if bool((self.ends[k] > now).any())
+        ]
+        if len(keep) != len(self.starts):
+            self.starts = [self.starts[k] for k in keep]
+            self.ends = [self.ends[k] for k in keep]
+
+
+def _delaytrack_kernel(
+    executed: Sequence[Instruction],
+    steps: Sequence[_Step],
+    n_regs: int,
+    latencies: np.ndarray,
+    processor: ProcessorModel,
+    runs: int,
+) -> BatchSimResult:
+    """The delay-tracking adaptive-issue recurrence, across runs.
+
+    Mirrors the scalar ``_simulate_delaytrack`` decision for decision.
+    Because tracked-load delays differ per run, runs diverge in *issue
+    order* -- no single per-instruction sweep exists.  Instead the
+    kernel runs a global step loop in which every unfinished run either
+    parks head instructions, issues its best candidate, or advances its
+    evaluation clock to the next event; all per-run state (register
+    ready/tracked bits, park status, conflict counts, the tracking
+    table and the MAX-n/LEN-n machinery) is ``(n, runs)`` / ``(regs,
+    runs)`` arrays, and each step is a bounded number of vector
+    gathers/scatters over the unfinished runs.
+
+    Per-run results are exactly the scalar simulator's: the two
+    implementations share the event rule (advance to the earlier of
+    the best candidate's issue time and the head's next blocker
+    resolution, then re-evaluate parking), so they visit identical
+    clock sequences and make identical lexicographic
+    (earliest-issue, oldest-first) choices.
+    """
+    width = processor.issue_width
+    table = processor.load_delay_tracking or 0
+    max_out = processor.max_outstanding_loads
+    limit = processor.max_load_cycles
+    blocking = processor.blocking_loads and width == 1
+    if processor.blocking_loads and width > 1:
+        warn_blocking_ignored(processor, runs)
+
+    n = len(steps)
+    if n == 0:
+        zero = np.zeros(runs, dtype=np.int64)
+        return BatchSimResult(cycles=zero, instructions=0, interlocks=zero.copy())
+
+    # ------------------------------------------------------------------
+    # Static block structure.
+    # ------------------------------------------------------------------
+    use_sent = n_regs          # always-zero row probed by padded uses
+    def_sent = n_regs + 1      # scratch row absorbing padded def writes
+    m = n_regs + 2
+    n_uses = max(1, max(len(s[1]) for s in steps))
+    n_defs = max(1, max(len(s[2]) for s in steps))
+    uses_pad = np.full((n, n_uses), use_sent, dtype=np.int64)
+    defs_pad = np.full((n, n_defs), def_sent, dtype=np.int64)
+    is_load = np.zeros(n, dtype=bool)
+    static_lat = np.zeros(n, dtype=np.int64)
+    load_col = np.zeros(n, dtype=np.int64)
+    col = 0
+    for j, (load_flag, uses, defs, lat) in enumerate(steps):
+        uses_pad[j, : len(uses)] = uses
+        defs_pad[j, : len(defs)] = defs
+        is_load[j] = load_flag
+        static_lat[j] = lat
+        if load_flag:
+            load_col[j] = col
+            col += 1
+    n_loads = col
+    is_term = np.array([inst.is_terminator for inst in executed], dtype=bool)
+    # conflict[j, i] = 1 for i < j whose issue must precede j's; column
+    # i is the +/- increment applied to ``blocked`` when i parks/issues.
+    conflict = np.zeros((n, n), dtype=np.int16)
+    for i, successors in enumerate(conflict_successors(executed)):
+        conflict[successors, i] = 1
+
+    # ------------------------------------------------------------------
+    # Per-run machine state.
+    # ------------------------------------------------------------------
+    PENDING, PARKED = 0, 1
+    INF = np.iinfo(np.int64).max
+    reg_ready = np.zeros((m, runs), dtype=np.int64)
+    reg_tracked = np.zeros((m, runs), dtype=bool)
+    pending_writers = np.zeros((m, runs), dtype=np.int64)
+    status = np.full((n, runs), PENDING, dtype=np.uint8)
+    e_data = np.zeros((n, runs), dtype=np.int64)
+    blocked = np.zeros((n, runs), dtype=np.int64)
+    head = np.zeros(runs, dtype=np.int64)
+    issued_count = np.zeros(runs, dtype=np.int64)
+    next_free = np.zeros(runs, dtype=np.int64)
+    interlock = np.zeros(runs, dtype=np.int64)
+    cycle = np.zeros(runs, dtype=np.int64)
+    slots_used = np.zeros(runs, dtype=np.int64)
+    busy = np.zeros(runs, dtype=np.int64)
+    now = np.zeros(runs, dtype=np.int64)
+    seq = np.arange(n, dtype=np.int64)
+
+    top = (
+        np.zeros((max_out, runs), dtype=np.int64)
+        if max_out is not None
+        else None
+    )
+    always_tracked = table > n_loads
+    track_top = (
+        np.zeros((table, runs), dtype=np.int64)
+        if 0 < table <= n_loads
+        else None
+    )
+    windows = _DTWindows() if limit is not None else None
+
+    def head_view(idx: np.ndarray) -> tuple:
+        """Readiness of each listed run's head instruction: (computable,
+        ready time, per-use ready times, per-use in-flight mask)."""
+        h = head[idx]
+        rows = uses_pad[h]                       # (k, n_uses)
+        cols = idx[:, None]
+        computable = (pending_writers[rows, cols] == 0).all(axis=1)
+        rr = reg_ready[rows, cols]
+        ready = rr.max(axis=1)
+        in_flight = rr > now[idx][:, None]
+        return h, computable, ready, rr, in_flight
+
+    while True:
+        act = np.nonzero(issued_count < n)[0]
+        if act.size == 0:
+            break
+        if windows is not None:
+            windows.prune(now)
+
+        # ------------------------------------------------------------
+        # Fetch/park: per run, park head instructions whose in-flight
+        # operands are all issued tracked loads.
+        # ------------------------------------------------------------
+        while True:
+            can = act[head[act] < n]
+            if can.size == 0:
+                break
+            h, computable, ready, rr, in_flight = head_view(can)
+            tracked_ok = (
+                ~in_flight | reg_tracked[uses_pad[h], can[:, None]]
+            ).all(axis=1)
+            park = (
+                computable
+                & (ready > now[can])
+                & tracked_ok
+                & ~is_term[h]
+            )
+            if not park.any():
+                break
+            sel = can[park]
+            hs = h[park]
+            status[hs, sel] = PARKED
+            e_data[hs, sel] = ready[park]
+            np.add.at(pending_writers, (defs_pad[hs], sel[:, None]), 1)
+            blocked[:, sel] += conflict[:, hs]
+            head[sel] += 1
+
+        # ------------------------------------------------------------
+        # Candidate selection: lexicographic (earliest issue, oldest).
+        # ------------------------------------------------------------
+        probe = np.maximum(e_data[:, act], now[act][None, :])
+        if top is not None:
+            probe[is_load] = np.maximum(probe[is_load], top[0][act][None, :])
+        if windows is not None:
+            probe = windows.apply_mat(probe, act)
+        cand = (status[:, act] == PARKED) & (blocked[:, act] == 0)
+        key = np.where(
+            cand, probe * np.int64(n + 1) + seq[:, None], INF
+        )
+        best_key = key.min(axis=0)
+
+        head_event = np.full(act.size, INF, dtype=np.int64)
+        has_head = head[act] < n
+        if has_head.any():
+            can = act[has_head]
+            h, computable, ready, rr, in_flight = head_view(can)
+            eligible = computable & (blocked[h, can] == 0)
+            if eligible.any():
+                t = np.maximum(ready, now[can])
+                if top is not None:
+                    t = np.where(
+                        is_load[h], np.maximum(t, top[0][can]), t
+                    )
+                if windows is not None:
+                    t = windows.apply_mat(t, can)
+                head_key = np.where(
+                    eligible, t * np.int64(n + 1) + h, INF
+                )
+                best_key[has_head] = np.minimum(
+                    best_key[has_head], head_key
+                )
+            stalled = computable & (ready > now[can])
+            if stalled.any():
+                ev = np.where(in_flight, rr, INF).min(axis=1)
+                head_event[has_head] = np.where(stalled, ev, INF)
+
+        best_e = best_key // np.int64(n + 1)
+        best_j = best_key - best_e * np.int64(n + 1)
+
+        # ------------------------------------------------------------
+        # Issue where the best candidate is issuable now; elsewhere
+        # advance the clock to the next event and re-evaluate.
+        # ------------------------------------------------------------
+        issue = best_e == now[act]
+        adv = ~issue
+        if adv.any():
+            now[act[adv]] = np.minimum(best_e[adv], head_event[adv])
+        if not issue.any():
+            continue
+
+        r = act[issue]
+        j = best_j[issue]
+        e = now[r]
+        lat = static_lat[j].copy()
+        lmask = is_load[j]
+        if lmask.any():
+            rl = r[lmask]
+            lat[lmask] = latencies[rl, load_col[j[lmask]]]
+        completion = e + lat
+
+        if width == 1:
+            interlock[r] += e - next_free[r]
+            next_free[r] = e + 1
+        else:
+            advanced = e > cycle[r]
+            busy[r] += advanced | (issued_count[r] == 0)
+            slots_used[r] = np.where(advanced, 1, slots_used[r] + 1)
+            cycle[r] = e
+
+        tracked = np.zeros(r.size, dtype=bool)
+        if lmask.any():
+            rl = r[lmask]
+            comp_l = completion[lmask]
+            if top is not None:
+                # Issue time already waited for top[0], so completion
+                # replaces the finished slot it reuses.
+                top[0, rl] = comp_l
+                top[:, rl] = np.sort(top[:, rl], axis=0)
+            if windows is not None:
+                over = lat[lmask] > limit
+                if over.any():
+                    start = np.zeros(runs, dtype=np.int64)
+                    end = np.zeros(runs, dtype=np.int64)
+                    ro = rl[over]
+                    start[ro] = e[lmask][over] + limit
+                    end[ro] = comp_l[over]
+                    windows.push(start, end)
+            if always_tracked:
+                tracked[lmask] = True
+            elif track_top is not None:
+                won = track_top[0, rl] <= e[lmask]
+                if won.any():
+                    rw = rl[won]
+                    track_top[0, rw] = comp_l[won]
+                    track_top[:, rw] = np.sort(track_top[:, rw], axis=0)
+                tracked[lmask] = won
+            if blocking:
+                interlock[rl] += comp_l - (e[lmask] + 1)
+                next_free[rl] = comp_l
+
+        rows = defs_pad[j]
+        reg_ready[rows, r[:, None]] = completion[:, None]
+        reg_tracked[rows, r[:, None]] = tracked[:, None]
+
+        was_parked = status[j, r] == PARKED
+        status[j, r] = 2
+        if was_parked.any():
+            jp = j[was_parked]
+            rp = r[was_parked]
+            np.add.at(pending_writers, (defs_pad[jp], rp[:, None]), -1)
+            blocked[:, rp] -= conflict[:, jp]
+        if (~was_parked).any():
+            head[r[~was_parked]] += 1
+        issued_count[r] += 1
+        if width == 1:
+            now[r] = next_free[r]
+        else:
+            now[r] = np.where(
+                slots_used[r] < width, cycle[r], cycle[r] + 1
+            )
+
+    if width == 1:
+        return BatchSimResult(
+            cycles=next_free, instructions=n, interlocks=interlock
+        )
+    total = cycle + 1
+    return BatchSimResult(
+        cycles=total, instructions=n, interlocks=total - busy
     )

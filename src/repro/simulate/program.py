@@ -165,14 +165,22 @@ def _record_simulation_metrics(
         **labels,
     )
 
-    if processor.issue_width != 1 or processor.blocking_loads:
+    if (
+        processor.issue_width != 1
+        or processor.blocking_loads
+        or processor.load_delay_tracking is not None
+    ):
         # The official numbers above still come from the (vectorized)
         # batch simulator; only the per-load breakdown is skipped, and
-        # the reason is recorded rather than silently folded in.
-        reason = (
-            "multi-issue" if processor.issue_width != 1
-            else "blocking-loads"
-        )
+        # the reason is recorded rather than silently folded in.  A
+        # delay-tracking front end reorders issue, so the in-order
+        # replay attribution does not describe it even at width 1.
+        if processor.load_delay_tracking is not None:
+            reason = "delay-tracking"
+        elif processor.issue_width != 1:
+            reason = "multi-issue"
+        else:
+            reason = "blocking-loads"
         metrics.inc(
             "sim.attribution_skipped", runs,
             processor=processor.name, reason=reason, **labels,

@@ -25,6 +25,8 @@ later block costs nothing, identically for both schedulers.
 from __future__ import annotations
 
 import heapq
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +37,7 @@ from ..ir.instructions import Instruction, Opcode
 from ..ir.operands import Register
 from ..machine.memory import MemorySystem
 from ..machine.processor import ProcessorModel, UNLIMITED
+from ..obs import recorder as _obs
 
 
 @dataclass(frozen=True)
@@ -97,6 +100,8 @@ def simulate_block(
     the 30 runs of an experiment).
     """
     _validate_latencies(instructions, latencies)
+    if processor.load_delay_tracking is not None:
+        return _simulate_delaytrack(instructions, latencies, processor)
     if processor.issue_width > 1:
         return _simulate_superscalar(instructions, latencies, processor)
 
@@ -194,6 +199,35 @@ def _apply_blocking_windows(windows: List[Tuple[int, int]], t: int) -> int:
     return t
 
 
+def warn_blocking_ignored(processor: ProcessorModel, runs: int = 1) -> None:
+    """Warn that ``blocking_loads`` has no effect at ``issue_width > 1``.
+
+    The multi-issue paths (scalar and batch alike) have always modelled
+    non-blocking loads only -- no blocking superscalar machine exists in
+    the paper or the suite -- but used to do so silently.  Both engines
+    now route through this helper: a ``RuntimeWarning`` (deduplicated by
+    Python's default warning filter) plus a ``sim.feature_ignored``
+    counter so the gap is visible in metrics, mirroring the
+    ``sim.attribution_skipped`` convention.  See ``docs/performance.md``.
+    """
+    warnings.warn(
+        f"blocking_loads is ignored at issue_width > 1 "
+        f"(processor {processor.name}): the multi-issue engines model "
+        f"non-blocking loads only",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    rec = _obs.get()
+    if rec is not None:
+        rec.metrics.inc(
+            "sim.feature_ignored",
+            runs,
+            feature="blocking-loads",
+            reason="multi-issue",
+            processor=processor.name,
+        )
+
+
 def _simulate_superscalar(
     instructions: Sequence[Instruction],
     latencies: Sequence[int],
@@ -206,6 +240,8 @@ def _simulate_superscalar(
     are reported as whole cycles in which nothing issued.
     """
     width = processor.issue_width
+    if processor.blocking_loads:
+        warn_blocking_ignored(processor)
     reg_ready: Dict[Register, int] = {}
     outstanding: List[int] = []
     windows: List[Tuple[int, int]] = []
@@ -259,6 +295,291 @@ def _simulate_superscalar(
     return BlockSimResult(
         cycles=total_cycles, instructions=issued, interlock_cycles=interlock
     )
+
+
+def conflict_successors(
+    instructions: Sequence[Instruction],
+) -> List[List[int]]:
+    """Hardware-conservative ordering constraints between instructions.
+
+    ``result[i]`` lists every ``j > i`` whose issue must stay after
+    ``i``'s: register dependences (true, anti and output), memory pairs
+    involving a store (no compile-time alias knowledge -- the hardware
+    assumes any two references may overlap) and block terminators.
+    Shared by the scalar and batch delay-tracking engines and restated
+    independently by the verification oracle.
+    """
+    succ: List[List[int]] = [[] for _ in instructions]
+    for j, inst_j in enumerate(instructions):
+        for i in range(j):
+            if instructions[i].conflicts_with(inst_j):
+                succ[i].append(j)
+    return succ
+
+
+def _simulate_delaytrack(
+    instructions: Sequence[Instruction],
+    latencies: Sequence[int],
+    processor: ProcessorModel,
+    issue_log: Optional[List[Tuple[int, int]]] = None,
+) -> BlockSimResult:
+    """Delay-tracking adaptive issue (the modern-processor scenario).
+
+    The issue logic keeps a ``load_delay_tracking``-entry table; a load
+    wins an entry at issue time when fewer than that many tracked loads
+    are still in flight, and only then does the hardware *know* when
+    its data returns.  An in-order front end parks (fetches past) the
+    head instruction exactly when every operand still in flight comes
+    from an issued, tracked load -- the hardware then knows the head's
+    ready time and can issue younger work in the meantime.  A stall on
+    anything else (an untracked load, a multi-cycle ALU result, an
+    operand of a not-yet-issued instruction) stalls fetch in order,
+    just like the base interlocked machine.
+
+    Among the visible instructions (parked ones plus the head) the
+    earliest-issuable wins, oldest first on ties; reordered issue still
+    respects every register dependence, store ordering under
+    no-alias-knowledge, terminator placement and the MAX-n / LEN-n /
+    BLOCKING resource rules (see :func:`conflict_successors` and
+    ``docs/delay_tracking.md``).  Table size 0 reproduces the in-order
+    interlocked model exactly; a table larger than the block's load
+    count gives perfect per-load knowledge.
+
+    ``issue_log``, when supplied, receives ``(source_position,
+    issue_cycle)`` per executed instruction in issue order -- the trace
+    the verification oracle's admissibility check consumes.
+    """
+    width = processor.issue_width
+    table = processor.load_delay_tracking or 0
+    max_out = processor.max_outstanding_loads
+    limit = processor.max_load_cycles
+    blocking = processor.blocking_loads and width == 1
+    if processor.blocking_loads and width > 1:
+        warn_blocking_ignored(processor)
+
+    steps = [
+        (pos, inst)
+        for pos, inst in enumerate(instructions)
+        if inst.opcode is not Opcode.NOP
+    ]
+    n = len(steps)
+    if n == 0:
+        return BlockSimResult(cycles=0, instructions=0, interlock_cycles=0)
+
+    uses: List[Tuple[Register, ...]] = [inst.all_uses() for _, inst in steps]
+    defs: List[Tuple[Register, ...]] = [inst.defs for _, inst in steps]
+    is_load = [inst.is_load for _, inst in steps]
+    static_lat = [inst.latency for _, inst in steps]
+    load_col = []
+    col = 0
+    for flag in is_load:
+        load_col.append(col if flag else -1)
+        col += flag
+    n_loads = col
+    succ = conflict_successors([inst for _, inst in steps])
+
+    PENDING, PARKED, ISSUED = 0, 1, 2
+    status = [PENDING] * n
+    e_data = [0] * n          # parked ready times (fixed at park time)
+    blocked = [0] * n         # parked conflict-predecessors still unissued
+    parked: List[int] = []    # ascending program order
+    reg_ready: Dict[Register, int] = {}
+    reg_tracked: Dict[Register, bool] = {}
+    pending_writers: Dict[Register, int] = {}
+    # MAX-n: the max_out largest completions of issued loads, ascending
+    # (zero-filled below capacity) -- same formulation as the batch
+    # kernel's top-k array, so a load waits until top[0].
+    top = [0] * max_out if max_out is not None else None
+    # Tracking table occupancy, by the same top-k argument: with
+    # table <= n_loads the table is full at issue time t exactly when
+    # the table-th largest tracked completion exceeds t.
+    always_tracked = table > n_loads
+    track_top = [0] * table if 0 < table <= n_loads else None
+    windows: deque = deque()  # LEN-n freeze windows, in issue order
+
+    head = 0
+    issued_count = 0
+    next_free = 0             # width == 1 accounting
+    interlock = 0
+    cycle = 0                 # width > 1 accounting
+    slots_used = 0
+    busy_cycles: set = set()
+    now = 0                   # current evaluation time, >= earliest slot
+
+    def apply_windows(t: int) -> int:
+        # Non-mutating variant of _apply_blocking_windows: candidate
+        # evaluation probes hypothetical issue times, so pruning is
+        # deferred to the outer loop (by ``now``, which only grows).
+        for start, end in windows:
+            if start > t:
+                break
+            if t < end:
+                t = end
+        return t
+
+    def earliest_issue(j: int, t: int) -> int:
+        if is_load[j] and top is not None and top[0] > t:
+            t = top[0]
+        if limit is not None:
+            t = apply_windows(t)
+        return t
+
+    while issued_count < n:
+        while windows and windows[0][1] <= now:
+            windows.popleft()
+
+        # Fetch/park: advance past head instructions whose only
+        # in-flight operands are issued tracked loads.
+        while head < n:
+            head_uses = uses[head]
+            if any(pending_writers.get(r, 0) for r in head_uses):
+                break
+            ready = 0
+            for r in head_uses:
+                rr = reg_ready.get(r, 0)
+                if rr > ready:
+                    ready = rr
+            if ready <= now:
+                break
+            if steps[head][1].is_terminator:
+                break
+            if not all(
+                reg_tracked.get(r, False)
+                for r in head_uses
+                if reg_ready.get(r, 0) > now
+            ):
+                break
+            status[head] = PARKED
+            e_data[head] = ready
+            parked.append(head)
+            for d in defs[head]:
+                pending_writers[d] = pending_writers.get(d, 0) + 1
+            for k in succ[head]:
+                blocked[k] += 1
+            head += 1
+
+        # Candidate selection: earliest feasible issue time, oldest
+        # first on ties (parked is in ascending program order and every
+        # parked index precedes head).
+        best_e = -1
+        best_j = -1
+        for j in parked:
+            if blocked[j]:
+                continue
+            e = earliest_issue(j, e_data[j] if e_data[j] > now else now)
+            if best_j < 0 or e < best_e:
+                best_e, best_j = e, j
+        head_event = -1
+        if head < n:
+            head_uses = uses[head]
+            if not any(pending_writers.get(r, 0) for r in head_uses):
+                ready = 0
+                for r in head_uses:
+                    rr = reg_ready.get(r, 0)
+                    if rr > ready:
+                        ready = rr
+                if blocked[head] == 0:
+                    e = earliest_issue(head, ready if ready > now else now)
+                    if best_j < 0 or e < best_e:
+                        best_e, best_j = e, head
+                if ready > now:
+                    # Earliest time the head's blocker set changes; the
+                    # park decision must be re-evaluated there (an
+                    # untracked stall resolving can unlock parking
+                    # before any candidate issues).
+                    head_event = min(
+                        t
+                        for t in (reg_ready.get(r, 0) for r in head_uses)
+                        if t > now
+                    )
+
+        if best_e > now:
+            now = best_e if head_event < 0 or head_event > best_e else head_event
+            continue
+
+        # Issue best_j at ``now``.
+        j = best_j
+        e = now
+        lat = int(latencies[load_col[j]]) if is_load[j] else static_lat[j]
+        if width == 1:
+            interlock += e - next_free
+            next_free = e + 1
+        else:
+            if e > cycle:
+                cycle = e
+                slots_used = 0
+            busy_cycles.add(cycle)
+            slots_used += 1
+        completion = e + lat
+        tracked = False
+        if is_load[j]:
+            if top is not None:
+                if completion > top[0]:
+                    top[0] = completion
+                    top.sort()
+            if limit is not None and lat > limit:
+                windows.append((e + limit, completion))
+            if always_tracked:
+                tracked = True
+            elif track_top is not None and track_top[0] <= e:
+                tracked = True
+                track_top[0] = completion
+                track_top.sort()
+            if blocking:
+                # Conventional hardware: stall until the data returns.
+                interlock += completion - (e + 1)
+                next_free = completion
+        for d in defs[j]:
+            reg_ready[d] = completion
+            reg_tracked[d] = tracked
+        if status[j] == PARKED:
+            parked.remove(j)
+            for d in defs[j]:
+                pending_writers[d] -= 1
+            for k in succ[j]:
+                blocked[k] -= 1
+        else:
+            head += 1
+        status[j] = ISSUED
+        issued_count += 1
+        if issue_log is not None:
+            issue_log.append((steps[j][0], e))
+        if width == 1:
+            now = next_free
+        else:
+            now = cycle if slots_used < width else cycle + 1
+
+    if width == 1:
+        return BlockSimResult(
+            cycles=next_free, instructions=n, interlock_cycles=interlock
+        )
+    total_cycles = cycle + 1
+    return BlockSimResult(
+        cycles=total_cycles,
+        instructions=n,
+        interlock_cycles=total_cycles - len(busy_cycles),
+    )
+
+
+def delaytrack_issue_trace(
+    instructions: Sequence[Instruction],
+    latencies: Sequence[int],
+    processor: ProcessorModel,
+) -> List[Tuple[int, int]]:
+    """The delay-tracking issue order of one simulated execution.
+
+    Returns ``(source_position, issue_cycle)`` per executed (non-NOP)
+    instruction, in issue order -- the admissibility evidence consumed
+    by :func:`repro.verify.check_delaytrack_issue`.
+    """
+    if processor.load_delay_tracking is None:
+        raise ValueError(
+            f"processor {processor.name} has no delay-tracking table"
+        )
+    _validate_latencies(instructions, latencies)
+    log: List[Tuple[int, int]] = []
+    _simulate_delaytrack(instructions, latencies, processor, issue_log=log)
+    return log
 
 
 def run_block(

@@ -215,6 +215,14 @@ def trace_block(
     """
     if processor.issue_width != 1:
         raise ValueError("traces support single-issue processors only")
+    if processor.load_delay_tracking:
+        # The in-order replay below would silently mis-time a reordering
+        # front end; the issue-order evidence for those lives in
+        # simulator.delaytrack_issue_trace.
+        raise ValueError(
+            "traces model in-order issue only; delay-tracking processors "
+            "reorder (use delaytrack_issue_trace for their issue order)"
+        )
 
     reg_ready: Dict[Register, int] = {}
     reg_writer: Dict[Register, int] = {}

@@ -27,10 +27,12 @@ from .oracle import (
     assert_legal,
     check_allocation,
     check_compiled,
+    check_delaytrack_issue,
     check_machine,
     check_permutation,
     check_schedule,
     constrained_pairs,
+    hardware_ordered_pairs,
     oracle_may_alias,
 )
 
@@ -40,10 +42,12 @@ __all__ = [
     "assert_legal",
     "check_allocation",
     "check_compiled",
+    "check_delaytrack_issue",
     "check_machine",
     "check_permutation",
     "check_schedule",
     "constrained_pairs",
+    "hardware_ordered_pairs",
     "hooks",
     "oracle_may_alias",
 ]

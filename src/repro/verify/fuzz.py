@@ -62,6 +62,7 @@ from ..machine.processor import (
     MAX_8,
     ProcessorModel,
     UNLIMITED,
+    delay_tracking,
     model_family,
     superscalar,
 )
@@ -97,6 +98,30 @@ FUZZ_PROCESSORS: Tuple[ProcessorModel, ...] = (
         issue_width=8,
     ),
     ProcessorModel("BLOCKINGx2", blocking_loads=True, issue_width=2),
+    # Delay-tracking crosses: table sizes {1, 2, 4, 8} against widths
+    # {1, 2, 4} and all four memory-constraint families.  A table of 1
+    # binds on nearly every block; 8 saturates most fuzz blocks (the
+    # perfect-knowledge limit); the blocking crosses pin that a
+    # blocking machine is unchanged by tracking (width 1) and that the
+    # ignored-feature warning path stays scalar/batch identical
+    # (width 2).
+    delay_tracking(1),
+    delay_tracking(8),
+    delay_tracking(2, ProcessorModel("MAX-2", max_outstanding_loads=2)),
+    delay_tracking(4, ProcessorModel("LEN-3", max_load_cycles=3)),
+    delay_tracking(8, BLOCKING),
+    delay_tracking(1, superscalar(2)),
+    delay_tracking(8, superscalar(2, MAX_8)),
+    delay_tracking(4, superscalar(4)),
+    delay_tracking(2, ProcessorModel(
+        "LEN-3+MAX-2x4",
+        max_load_cycles=3,
+        max_outstanding_loads=2,
+        issue_width=4,
+    )),
+    delay_tracking(4, ProcessorModel(
+        "BLOCKINGx2", blocking_loads=True, issue_width=2
+    )),
 )
 
 #: One memory system per family (fixed / cache / network / mixed).

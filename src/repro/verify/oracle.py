@@ -481,6 +481,185 @@ def check_machine(
 
 
 # ----------------------------------------------------------------------
+# Delay-tracking issue admissibility
+# ----------------------------------------------------------------------
+def hardware_ordered_pairs(
+    instructions: Sequence[Instruction],
+) -> List[Tuple[int, int]]:
+    """All position pairs (i, j), i < j, that delay-tracking hardware
+    must keep in issue order.
+
+    Restated from the machine's perspective, independently of
+    :func:`repro.simulate.simulator.conflict_successors`: the issue
+    logic has *no* compile-time alias knowledge, so any two memory
+    references with a store involved are assumed to overlap; register
+    true, anti and output dependences (including load/store base
+    registers) order as usual; and a terminator never moves relative
+    to anything.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for j, later in enumerate(instructions):
+        uses_j = set(later.all_uses())
+        defs_j = set(later.defs)
+        for i in range(j):
+            earlier = instructions[i]
+            if earlier.is_terminator or later.is_terminator:
+                pairs.append((i, j))
+                continue
+            defs_i = set(earlier.defs)
+            if (
+                defs_i & uses_j
+                or defs_i & defs_j
+                or set(earlier.all_uses()) & defs_j
+            ):
+                pairs.append((i, j))
+                continue
+            if (
+                earlier.mem is not None
+                and later.mem is not None
+                and (earlier.is_store or later.is_store)
+            ):
+                pairs.append((i, j))
+    return pairs
+
+
+def check_delaytrack_issue(
+    instructions: Sequence[Instruction],
+    latencies: Sequence[int],
+    processor: object,
+    trace: Sequence[Tuple[int, int]],
+) -> List[Violation]:
+    """Is a delay-tracking issue trace admissible hardware behaviour?
+
+    ``trace`` is ``(source_position, issue_cycle)`` per executed
+    instruction in issue order, as produced by
+    :func:`repro.simulate.simulator.delaytrack_issue_trace`.  The
+    adaptive front end may reorder issue, but never beyond what the
+    machine can actually do; the checker verifies, from the IR data
+    model alone:
+
+    * **completeness** -- the trace issues every non-NOP instruction
+      exactly once, at a non-negative cycle, in non-decreasing cycle
+      order;
+    * **width** -- no cycle issues more instructions than the
+      processor's ``issue_width``;
+    * **ordering** -- every hardware-constrained pair
+      (:func:`hardware_ordered_pairs`) issues in program order;
+    * **timing** -- no instruction issues before the data it reads is
+      computed: for each use, at least the latest program-order
+      writer's issue cycle plus that writer's latency (the sampled
+      per-load latency for loads, the static latency otherwise).
+
+    The engine under test is stricter than this contract (it also
+    models MAX-n/LEN-n resource stalls, which only delay issue
+    further), so every engine trace must pass; a trace that issues too
+    early, too densely or out of order cannot have come from admissible
+    hardware.
+    """
+    violations: List[Violation] = []
+    executed = [
+        (pos, inst)
+        for pos, inst in enumerate(instructions)
+        if inst.opcode is not Opcode.NOP
+    ]
+    expected = Counter(pos for pos, _ in executed)
+    got = Counter(pos for pos, _ in trace)
+    if expected != got:
+        missing = sorted((expected - got).elements())
+        extra = sorted((got - expected).elements())
+        violations.append(Violation(
+            "machine",
+            "issue trace is not a permutation of the executed block: "
+            f"missing positions {missing[:5]}, extra {extra[:5]}",
+        ))
+        return violations
+
+    width = int(getattr(processor, "issue_width", 1))
+    name = getattr(processor, "name", str(processor))
+    per_cycle: Counter = Counter()
+    previous_cycle = None
+    for order_index, (pos, cycle) in enumerate(trace):
+        if cycle < 0:
+            violations.append(Violation(
+                "machine",
+                f"negative issue cycle {cycle} at trace entry {order_index}",
+                where=(pos,),
+            ))
+        if previous_cycle is not None and cycle < previous_cycle:
+            violations.append(Violation(
+                "machine",
+                f"issue cycles regress at trace entry {order_index}: "
+                f"{previous_cycle} then {cycle}",
+                where=(pos,),
+            ))
+        previous_cycle = cycle
+        per_cycle[cycle] += 1
+    for cycle, count in sorted(per_cycle.items()):
+        if count > width:
+            violations.append(Violation(
+                "machine",
+                f"cycle {cycle} issues {count} instructions but {name} "
+                f"is {width}-wide",
+            ))
+
+    # Per-position issue cycles and sequence indices.
+    issue_cycle = {pos: cycle for pos, cycle in trace}
+    issue_index = {pos: k for k, (pos, _) in enumerate(trace)}
+    body = [inst for _, inst in executed]
+    positions = [pos for pos, _ in executed]
+
+    for i, j in hardware_ordered_pairs(body):
+        pos_i, pos_j = positions[i], positions[j]
+        if issue_index[pos_i] >= issue_index[pos_j]:
+            violations.append(Violation(
+                "dependence",
+                f"hardware-ordered pair issued out of order: "
+                f"{body[i]!s} (source {pos_i}) must issue before "
+                f"{body[j]!s} (source {pos_j})",
+                where=(pos_i, pos_j),
+            ))
+
+    # Latency of each executed instruction under this sampled run.
+    load_index = 0
+    n_loads = sum(1 for inst in body if inst.is_load)
+    if len(latencies) < n_loads:
+        violations.append(Violation(
+            "machine",
+            f"{n_loads} loads but only {len(latencies)} latencies",
+        ))
+        return violations
+    lat: Dict[int, int] = {}
+    for pos, inst in executed:
+        if inst.is_load:
+            lat[pos] = int(latencies[load_index])
+            load_index += 1
+        else:
+            lat[pos] = inst.latency
+
+    for j, inst_j in enumerate(body):
+        for reg in inst_j.all_uses():
+            writer = None
+            for i in range(j - 1, -1, -1):
+                if reg in body[i].defs:
+                    writer = i
+                    break
+            if writer is None:
+                continue
+            pos_i, pos_j = positions[writer], positions[j]
+            required = issue_cycle[pos_i] + lat[pos_i]
+            if issue_cycle[pos_j] < required:
+                violations.append(Violation(
+                    "dependence",
+                    f"{body[j]!s} (source {pos_j}) reads {reg} at cycle "
+                    f"{issue_cycle[pos_j]} but its producer "
+                    f"{body[writer]!s} (source {pos_i}) completes at "
+                    f"{required}",
+                    where=(pos_i, pos_j),
+                ))
+    return violations
+
+
+# ----------------------------------------------------------------------
 # Whole-pipeline entry points
 # ----------------------------------------------------------------------
 def check_compiled(

@@ -17,7 +17,7 @@ import pytest
 
 from repro.experiments.common import ProgramEvaluator
 from repro.machine.config import paper_system_rows
-from repro.machine.processor import BLOCKING, MAX_8, UNLIMITED
+from repro.machine.processor import BLOCKING, MAX_8, UNLIMITED, delay_tracking
 from repro.obs import recorder as obs
 from repro.obs.metrics import MetricsRegistry, split_series_key
 from repro.workloads.perfect import clear_cache, load_program
@@ -117,6 +117,32 @@ class TestAttributionSkip:
         # The headline counters still reconcile at the top level.
         cycles = _sum_counter(rec.metrics, "sim.cycles")
         assert cycles > 0
+
+    def test_delay_tracking_runs_are_counted_not_attributed(self):
+        """A delay-tracking front end reorders issue, so the in-order
+        replay cannot attribute its stalls even at width 1; the skip is
+        counted under its own reason and the dedicated batch kernel
+        shows up in the kernel counter."""
+        row = paper_system_rows()[0]
+        evaluator = ProgramEvaluator(load_program("ADM"), runs=3)
+        with obs.recording() as rec:
+            evaluator.cell(row, delay_tracking(8))
+        skipped = _sum_counter(rec.metrics, "sim.attribution_skipped")
+        runs = _sum_counter(rec.metrics, "sim.runs")
+        assert skipped == runs > 0
+        reasons = {
+            labels["reason"]
+            for _key, labels in rec.metrics.series("sim.attribution_skipped")
+        }
+        assert reasons == {"delay-tracking"}
+        kernels = {
+            labels["kernel"]
+            for _key, labels in rec.metrics.series("sim.batch_kernel")
+        }
+        assert kernels == {"delaytrack"}
+        assert rec.metrics.series("sim.load_stall_cycles") == []
+        # The headline counters still come from the batch simulator.
+        assert _sum_counter(rec.metrics, "sim.cycles") > 0
 
     def test_max8_is_single_issue_and_still_reconciles(self):
         """Finite load slots (MAX-8) stay attributable: the replay

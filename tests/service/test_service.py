@@ -539,6 +539,24 @@ class TestRequestValidation:
         assert excinfo.value.status == 400
         assert "bogus" in str(excinfo.value)
 
+    def test_delay_tracking_processor_specs_are_accepted(self, served):
+        """/simulate takes the full parse_processor grammar, so the
+        adaptive-hardware family is reachable over the wire."""
+        _, client = served
+        payload = client.simulate(processor="dt8", **SIM_PAYLOAD)
+        assert payload["processor"] == "DT-8"
+        payload = client.simulate(processor="max8x2+dt4", **SIM_PAYLOAD)
+        assert payload["processor"] == "MAX-8x2+DT4"
+
+    def test_unknown_processor_spec_is_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate(
+                processor="dt8turbo", **SIM_PAYLOAD
+            )
+        assert excinfo.value.status == 400
+        assert "dt8turbo" in str(excinfo.value)
+
     def test_unknown_program_is_400(self, served):
         _, client = served
         with pytest.raises(ServiceError) as excinfo:

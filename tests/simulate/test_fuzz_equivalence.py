@@ -24,6 +24,7 @@ from repro.machine.processor import (
     LEN_8,
     MAX_8,
     ProcessorModel,
+    delay_tracking,
     superscalar,
 )
 from repro.simulate import (
@@ -221,6 +222,121 @@ def test_fuzz_superscalar_widths_across_memory_families(width, seed):
         )
         pytest.fail(
             f"superscalar scalar/batch divergence (width {width}, seed "
+            f"{seed}); shrunk artifact written to {path}:\n"
+            + "\n".join(str(m) for m in mismatches[:5])
+        )
+
+
+# ----------------------------------------------------------------------
+# Delay-tracking: fuzz-generated programs, table sizes crossed with
+# issue widths 1/2/4 and every memory-constraint family; failures are
+# shrunk and written as replayable artifacts like any other finding.
+# ----------------------------------------------------------------------
+DELAYTRACK_WIDTHS = (1, 2, 4)
+
+
+def _delaytrack_processors(width):
+    """Tight and saturating tracking tables over every memory-constraint
+    family at one issue width (BLOCKING included: at width 1 a blocking
+    machine must be unchanged by tracking; at width > 1 both simulators
+    must agree to ignore ``blocking_loads``)."""
+    base_width = superscalar(width) if width > 1 else None
+    processors = []
+    for table in (1, 8):
+        processors.extend((
+            delay_tracking(table, base_width) if base_width is not None
+            else delay_tracking(table),
+            delay_tracking(table, ProcessorModel(
+                f"MAX-2x{width}" if width > 1 else "MAX-2",
+                max_outstanding_loads=2, issue_width=width,
+            )),
+            delay_tracking(table, ProcessorModel(
+                f"LEN-3x{width}" if width > 1 else "LEN-3",
+                max_load_cycles=3, issue_width=width,
+            )),
+            delay_tracking(table, ProcessorModel(
+                f"BLOCKINGx{width}" if width > 1 else "BLOCKING",
+                blocking_loads=True, issue_width=width,
+            )),
+        ))
+    return tuple(processors)
+
+
+def _delaytrack_mismatches(source, width, seed):
+    """Scalar-vs-batch divergences on every (block, processor, memory)
+    triple for the delay-tracking crosses at one issue width."""
+    program = compile_minif(source)
+    compiled = compile_program(program, BalancedScheduler())
+    mismatches = []
+    for block in compiled.final_blocks:
+        n_loads = len(block.loads)
+        for processor in _delaytrack_processors(width):
+            for memory in FUZZ_MEMORIES:
+                rng = spawn(
+                    "fuzz-dt", seed, block.name, processor.name, memory.name
+                )
+                latencies = memory.sample_many(rng, n_loads * RUNS).reshape(
+                    RUNS, n_loads
+                )
+                batch = simulate_block_batch(
+                    block.instructions, latencies, processor
+                )
+                for run in range(RUNS):
+                    scalar = simulate_block(
+                        block.instructions,
+                        [int(x) for x in latencies[run]],
+                        processor,
+                    )
+                    if (
+                        scalar.cycles != int(batch.cycles[run])
+                        or scalar.interlock_cycles != int(batch.interlocks[run])
+                    ):
+                        mismatches.append(Mismatch(
+                            "cycles",
+                            f"delaytrack scalar/batch divergence: block "
+                            f"{block.name}, {processor.name}, "
+                            f"{memory.name}, run {run}",
+                            expected=(
+                                f"cycles={scalar.cycles} "
+                                f"interlocks={scalar.interlock_cycles}"
+                            ),
+                            actual=(
+                                f"cycles={int(batch.cycles[run])} "
+                                f"interlocks={int(batch.interlocks[run])}"
+                            ),
+                        ))
+    return mismatches
+
+
+@pytest.mark.parametrize("width", DELAYTRACK_WIDTHS)
+@pytest.mark.parametrize("seed", range(3))
+def test_fuzz_delaytrack_tables_across_memory_families(width, seed):
+    """Seeded fuzz programs through the real pipeline, then scalar vs.
+    batch on delay-tracking models (tables 1 and 8, all four
+    memory-constraint families) at this width crossed with all five
+    fuzz memory systems; a failure is shrunk and persisted as a
+    replayable ``results/fuzz/`` artifact before the test fails."""
+    ast = random_ast(
+        spawn("fuzz-delaytrack-gen", width, seed), max_statements=4
+    )
+    source = format_program_ast(ast)
+    mismatches = _delaytrack_mismatches(source, width, seed)
+    if mismatches:
+        shrunk = shrink_source(
+            source,
+            lambda text: bool(_delaytrack_mismatches(text, width, seed)),
+        )
+        path = write_artifact(
+            os.path.join("results", "fuzz"),
+            _ARTIFACT_SEED,
+            1000 + width * 100 + seed,
+            source,
+            shrunk,
+            mismatches,
+            RUNS,
+        )
+        pytest.fail(
+            f"delaytrack scalar/batch divergence (width {width}, seed "
             f"{seed}); shrunk artifact written to {path}:\n"
             + "\n".join(str(m) for m in mismatches[:5])
         )
